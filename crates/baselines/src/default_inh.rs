@@ -1,0 +1,233 @@
+//! Default (closest-ancestor) inheritance — §4.2.4.
+//!
+//! "A popular approach in Artificial Intelligence is to adopt the
+//! convention that the 'closest' constraint in the hierarchy overrides all
+//! others, including ones that are contradicted. […] the inherited
+//! property can be computed efficiently by searching up the subclass
+//! tree." This module implements that convention faithfully, *including
+//! its defects*:
+//!
+//! * on a DAG, the nearest declaration may be ambiguous
+//!   ([`DefaultError::Ambiguous`]);
+//! * contradictions are silently absorbed, so the mechanism cannot
+//!   distinguish erroneous definitions from intentional overrides
+//!   ([`detects_contradictions`] is constantly `false`);
+//! * whether a property holds universally can only be established by
+//!   scanning every subclass ([`universally_true`]).
+
+use std::collections::VecDeque;
+
+use chc_model::{ClassId, Range, Schema, Sym};
+
+/// A failure of the closest-ancestor rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefaultError {
+    /// No class on any ancestor path declares the attribute.
+    NotFound,
+    /// Two incomparable ancestors at the same minimal distance declare the
+    /// attribute with different ranges: "if class A has two ancestors, B
+    /// and C, both of these could specify constraints on A by inheritance,
+    /// and it is not specified which one should be chosen."
+    Ambiguous {
+        /// One nearest declarer.
+        a: ClassId,
+        /// Another nearest declarer at the same distance.
+        b: ClassId,
+    },
+}
+
+/// Resolves `attr` for `class` by breadth-first search up the is-a graph,
+/// taking the nearest declaration. The per-call cost is O(ancestors) —
+/// what experiment E3 measures against the excuses approach's
+/// precomputed effective types.
+pub fn default_range(
+    schema: &Schema,
+    class: ClassId,
+    attr: Sym,
+) -> Result<&Range, DefaultError> {
+    let mut queue = VecDeque::new();
+    let mut visited = vec![false; schema.num_classes()];
+    queue.push_back((class, 0usize));
+    visited[class.index()] = true;
+    let mut found: Option<(usize, ClassId, &Range)> = None;
+    while let Some((c, dist)) = queue.pop_front() {
+        if let Some((fdist, ..)) = found {
+            if dist > fdist {
+                // All nearest declarations collected; done.
+                break;
+            }
+        }
+        if let Some(decl) = schema.declared_attr(c, attr) {
+            match found {
+                None => found = Some((dist, c, &decl.spec.range)),
+                Some((fdist, fclass, frange)) if dist == fdist => {
+                    if *frange != decl.spec.range {
+                        return Err(DefaultError::Ambiguous { a: fclass, b: c });
+                    }
+                }
+                Some(_) => {}
+            }
+            continue; // nearer declaration shadows anything above c
+        }
+        for &s in schema.supers(c) {
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                queue.push_back((s, dist + 1));
+            }
+        }
+    }
+    found.map(|(_, _, r)| r).ok_or(DefaultError::NotFound)
+}
+
+/// Default inheritance accepts *any* redefinition — the system "cannot
+/// distinguish erroneous definitions from defaults". Returned constant
+/// documents the defect the excuses checker fixes (experiment E1's
+/// baseline row).
+pub fn detects_contradictions() -> bool {
+    false
+}
+
+/// "In all languages which have 'cancellable inheritance', one can find
+/// out if some property of a class is universally true only by checking
+/// all of its subclasses." Returns whether every descendant of `class`
+/// sees `expected` as its resolved range, and the number of classes
+/// visited to find out.
+pub fn universally_true(
+    schema: &Schema,
+    class: ClassId,
+    attr: Sym,
+    expected: &Range,
+) -> (bool, usize) {
+    let mut visited = 0usize;
+    let mut holds = true;
+    for d in schema.descendants_with_self(class) {
+        visited += 1;
+        match default_range(schema, d, attr) {
+            Ok(r) if r == expected => {}
+            _ => holds = false,
+        }
+    }
+    (holds, visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    #[test]
+    fn nearest_declaration_wins() {
+        let s = compile(
+            "
+            class Bird with flies: {'Yes};
+            class Penguin is-a Bird with flies: {'No};
+            class EmperorPenguin is-a Penguin;
+            ",
+        )
+        .unwrap();
+        let emperor = s.class_by_name("EmperorPenguin").unwrap();
+        let bird = s.class_by_name("Bird").unwrap();
+        let flies = s.sym("flies").unwrap();
+        let no = Range::enumeration([s.sym("No").unwrap()]).unwrap();
+        assert_eq!(default_range(&s, emperor, flies), Ok(&no));
+        let yes = Range::enumeration([s.sym("Yes").unwrap()]).unwrap();
+        assert_eq!(default_range(&s, bird, flies), Ok(&yes));
+    }
+
+    #[test]
+    fn dag_ambiguity_detected() {
+        let s = compile(
+            "
+            class Person;
+            class Quaker is-a Person with opinion: {'Dove};
+            class Republican is-a Person with opinion: {'Hawk};
+            class Dick is-a Quaker, Republican;
+            ",
+        )
+        .unwrap();
+        let dick = s.class_by_name("Dick").unwrap();
+        let opinion = s.sym("opinion").unwrap();
+        assert!(matches!(
+            default_range(&s, dick, opinion),
+            Err(DefaultError::Ambiguous { .. })
+        ));
+    }
+
+    #[test]
+    fn equal_ranges_at_same_distance_are_not_ambiguous() {
+        let s = compile(
+            "
+            class A with x: 1..10;
+            class B with x: 1..10;
+            class C is-a A, B;
+            ",
+        )
+        .unwrap();
+        let c = s.class_by_name("C").unwrap();
+        let x = s.sym("x").unwrap();
+        assert!(default_range(&s, c, x).is_ok());
+    }
+
+    #[test]
+    fn nearer_declaration_shadows_farther_conflict() {
+        // The conflict sits strictly above a local declaration, so the
+        // closest-wins rule never sees it.
+        let s = compile(
+            "
+            class A with x: 1..10;
+            class B with x: 100..200;
+            class C is-a A, B with x: 5..6;
+            ",
+        )
+        .unwrap();
+        let c = s.class_by_name("C").unwrap();
+        let x = s.sym("x").unwrap();
+        assert_eq!(default_range(&s, c, x), Ok(&Range::Int { lo: 5, hi: 6 }));
+    }
+
+    #[test]
+    fn missing_attr_not_found() {
+        let s = compile("class A; class B is-a A;").unwrap();
+        let b = s.class_by_name("B").unwrap();
+        let bogus = s.sym("A").unwrap();
+        assert_eq!(default_range(&s, b, bogus), Err(DefaultError::NotFound));
+    }
+
+    #[test]
+    fn universal_truth_requires_full_scan() {
+        let s = compile(
+            "
+            class Bird with flies: {'Yes};
+            class Sparrow is-a Bird;
+            class Penguin is-a Bird with flies: {'No};
+            ",
+        )
+        .unwrap();
+        let bird = s.class_by_name("Bird").unwrap();
+        let flies = s.sym("flies").unwrap();
+        let yes = Range::enumeration([s.sym("Yes").unwrap()]).unwrap();
+        let (holds, visited) = universally_true(&s, bird, flies, &yes);
+        assert!(!holds, "penguins silently cancel the property");
+        assert_eq!(visited, 3, "every descendant must be checked");
+    }
+
+    #[test]
+    fn silent_cancellation_is_undetectable() {
+        // The same schema that the excuses checker rejects as an unexcused
+        // contradiction resolves without complaint here.
+        let s = compile(
+            "
+            class Physician;
+            class Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with treatedBy: Psychologist;
+            ",
+        )
+        .unwrap();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let treated_by = s.sym("treatedBy").unwrap();
+        assert!(default_range(&s, alcoholic, treated_by).is_ok());
+        assert!(!detects_contradictions());
+        assert!(!chc_core::check(&s).is_ok(), "the excuses checker does object");
+    }
+}

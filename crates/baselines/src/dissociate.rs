@@ -1,0 +1,134 @@
+//! Dissociating classes and types — §4.2.3.
+//!
+//! "Alcoholic could thus be obtained from Patient by 'dropping' the
+//! original definition of treatedBy and 'adding' the new one.
+//! Unfortunately […] polymorphism is defeated […] the extent of such a
+//! derived class is not a subset of the original class."
+//!
+//! [`derive_class`] performs the drop-and-add derivation, deliberately
+//! *without* an is-a link; the tests (and experiment E2) then demonstrate
+//! mechanically that both losses occur.
+
+use chc_model::{AttrSpec, ClassId, ModelError, Schema, SchemaBuilder, Sym};
+
+/// Derives a new class from `base` textually: copy `base`'s declared and
+/// inherited attributes, drop those in `drop`, add those in `add`. The
+/// derived class has **no** is-a relationship to `base`.
+pub fn derive_class(
+    schema: &Schema,
+    base: ClassId,
+    name: &str,
+    drop: &[Sym],
+    add: &[(&str, AttrSpec)],
+) -> Result<(Schema, ClassId), ModelError> {
+    let mut b = SchemaBuilder::from_schema(schema);
+    let derived = b.declare(name)?;
+    for attr in schema.applicable_attrs(base) {
+        if drop.contains(&attr) {
+            continue;
+        }
+        // Copy the most specific inherited spec.
+        let spec = schema
+            .constraints_on(base, attr)
+            .last()
+            .map(|(_, s)| (*s).clone())
+            .expect("applicable attr has a constraint");
+        // Strip excuses: the derivation is textual, not semantic.
+        b.add_attr(derived, schema.resolve(attr), AttrSpec::plain(spec.range))?;
+    }
+    for (attr_name, spec) in add {
+        b.add_attr(derived, attr_name, spec.clone())?;
+    }
+    Ok((b.build()?, derived))
+}
+
+/// Whether a procedure typed over `base` accepts instances of `derived` —
+/// i.e. whether bounded polymorphism survived the derivation.
+pub fn polymorphism_preserved(schema: &Schema, derived: ClassId, base: ClassId) -> bool {
+    schema.is_subclass(derived, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_extent::ExtentStore;
+    use chc_model::Range;
+    use chc_sdl::compile;
+
+    fn setup() -> (Schema, ClassId, ClassId) {
+        let s = compile(
+            "
+            class Physician;
+            class Psychologist;
+            class Patient with treatedBy: Physician; ward: String;
+            ",
+        )
+        .unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let psychologist = s.class_by_name("Psychologist").unwrap();
+        let treated_by = s.sym("treatedBy").unwrap();
+        let (s2, derived) = derive_class(
+            &s,
+            patient,
+            "Alcoholic",
+            &[treated_by],
+            &[("treatedBy", AttrSpec::plain(Range::Class(psychologist)))],
+        )
+        .unwrap();
+        let patient = s2.class_by_name("Patient").unwrap();
+        (s2, derived, patient)
+    }
+
+    #[test]
+    fn derivation_copies_and_replaces_attributes() {
+        let (s, derived, _) = setup();
+        let treated_by = s.sym("treatedBy").unwrap();
+        let ward = s.sym("ward").unwrap();
+        let psychologist = s.class_by_name("Psychologist").unwrap();
+        assert_eq!(
+            s.declared_attr(derived, treated_by).unwrap().spec.range,
+            Range::Class(psychologist)
+        );
+        assert_eq!(s.declared_attr(derived, ward).unwrap().spec.range, Range::Str);
+    }
+
+    #[test]
+    fn polymorphism_is_defeated() {
+        let (s, derived, patient) = setup();
+        assert!(!polymorphism_preserved(&s, derived, patient));
+    }
+
+    #[test]
+    fn extent_is_not_a_subset() {
+        // "quantifying over all Patients will not include Alcoholics."
+        let (s, derived, patient) = setup();
+        let mut store = ExtentStore::new(&s);
+        store.create(&s, &[patient]);
+        store.create(&s, &[derived]);
+        assert_eq!(store.count(patient), 1, "the derived instance is missing");
+        assert_eq!(store.count(derived), 1);
+    }
+
+    #[test]
+    fn derivation_survives_the_strict_checker() {
+        // Because there is no is-a edge, nothing contradicts — the
+        // mechanism hides the exception instead of acknowledging it.
+        let (s, ..) = setup();
+        assert!(chc_core::check(&s).is_ok());
+    }
+
+    #[test]
+    fn inherited_attrs_are_flattened_in() {
+        let s = compile(
+            "
+            class Person with name: String;
+            class Patient is-a Person with ward: String;
+            ",
+        )
+        .unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let (s2, derived) = derive_class(&s, patient, "Odd", &[], &[]).unwrap();
+        let name = s2.sym("name").unwrap();
+        assert!(s2.declared_attr(derived, name).is_some(), "inherited attrs copied");
+    }
+}

@@ -1,0 +1,36 @@
+//! # chc-baselines — the rejected alternatives of §4.2 and §3c
+//!
+//! Each module implements, faithfully and with its defects intact, one of
+//! the mechanisms the paper compares excuses against:
+//!
+//! * [`reconcile()`] — strict inheritance with reconciliation (§4.2.1):
+//!   generalize the contradicted constraint and restate it on every
+//!   sibling.
+//! * [`intermediate`] — strict inheritance with anchor classes (§4.2.2):
+//!   the `2^k − 1` lattice of technical classes.
+//! * [`dissociate`] — derive-by-drop without is-a (§4.2.3): loses
+//!   polymorphism and extent inclusion.
+//! * [`default_inh`] — closest-ancestor default inheritance (§4.2.4):
+//!   DAG-ambiguous, silently absorbs contradictions, and makes universal
+//!   properties checkable only by full subtree scans.
+//! * [`manual_sets`] — extents as hand-maintained sets (§3c): subset
+//!   violations appear as soon as the hierarchy evolves.
+//!
+//! Experiments E2, E3, E5, and E10 tabulate these against the excuses
+//! mechanism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod default_inh;
+pub mod dissociate;
+pub mod intermediate;
+pub mod manual_sets;
+pub mod reconcile;
+
+pub use default_inh::{default_range, detects_contradictions, universally_true, DefaultError};
+pub use dissociate::{derive_class, polymorphism_preserved};
+pub use intermediate::{build_anchor_lattice, predicted_classes_added, AnchorLattice};
+pub use manual_sets::ManualSetStore;
+pub use reconcile::{reconcile, ReconcileCost};

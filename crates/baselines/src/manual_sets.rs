@@ -1,0 +1,156 @@
+//! Extents as plain sets with hand-written maintenance procedures — the
+//! alternative §3c warns about.
+//!
+//! "If the extent of classes was replaced by sets, then one would need to
+//! write for every class separate procedures for adding or removing
+//! objects from its extent in order to ensure that the appropriate subset
+//! relationships would be maintained; these procedures could become
+//! sources of error as the class hierarchy evolves."
+//!
+//! [`ManualSetStore`] models exactly that: each class's "add procedure" is
+//! a *snapshot* of its ancestor list taken when the procedure was written.
+//! When the schema evolves, procedures are not implicitly updated; unless
+//! someone remembers to call [`ManualSetStore::regenerate_procedures`],
+//! newly created objects silently violate the subset constraint —
+//! experiment E5 counts those violations.
+
+use std::collections::BTreeSet;
+
+use chc_model::{ClassId, Oid, OidAllocator, Schema};
+
+/// Class extents as independent sets, maintained by per-class procedures.
+#[derive(Debug, Clone)]
+pub struct ManualSetStore {
+    sets: Vec<BTreeSet<Oid>>,
+    /// For each class, the list of sets its hand-written add/remove
+    /// procedure updates (snapshotted ancestor lists).
+    procedures: Vec<Vec<usize>>,
+    alloc: OidAllocator,
+    /// How many times procedures have been (re)written — the maintenance
+    /// burden the automatic store never pays.
+    pub procedures_written: usize,
+}
+
+impl ManualSetStore {
+    /// Creates a store, writing one add procedure per class of `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        let mut store = ManualSetStore {
+            sets: vec![BTreeSet::new(); schema.num_classes()],
+            procedures: Vec::new(),
+            alloc: OidAllocator::new(),
+            procedures_written: 0,
+        };
+        store.regenerate_procedures(schema);
+        store
+    }
+
+    /// (Re)writes every class's procedure from the *current* hierarchy —
+    /// the manual step a maintainer must remember after schema evolution.
+    pub fn regenerate_procedures(&mut self, schema: &Schema) {
+        self.procedures = schema
+            .class_ids()
+            .map(|c| schema.ancestors_with_self(c).map(|a| a.index()).collect())
+            .collect();
+        // Extents may have grown since the snapshot was taken (classes
+        // added by evolution); widen storage to match.
+        if self.sets.len() < self.procedures.len() {
+            self.sets.resize(self.procedures.len(), BTreeSet::new());
+        }
+        self.procedures_written += self.procedures.len();
+    }
+
+    /// Runs the add procedure written for `class`. Note this consults the
+    /// snapshot, **not** the schema — that is the point.
+    pub fn create(&mut self, class: ClassId) -> Oid {
+        let oid = self.alloc.alloc();
+        for &set in &self.procedures[class.index()] {
+            self.sets[set].insert(oid);
+        }
+        oid
+    }
+
+    /// Membership in one set.
+    pub fn is_member(&self, oid: Oid, class: ClassId) -> bool {
+        self.sets[class.index()].contains(&oid)
+    }
+
+    /// Extent size.
+    pub fn count(&self, class: ClassId) -> usize {
+        self.sets[class.index()].len()
+    }
+
+    /// Counts subset-constraint violations against the *current* schema:
+    /// objects present in a class's set but missing from an ancestor's.
+    pub fn subset_violations(&self, schema: &Schema) -> usize {
+        let mut violations = 0;
+        for c in schema.class_ids() {
+            for a in schema.strict_ancestors(c) {
+                violations += self.sets[c.index()]
+                    .iter()
+                    .filter(|o| !self.sets[a.index()].contains(o))
+                    .count();
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_core::evolve::add_super_edge;
+    use chc_sdl::compile;
+
+    #[test]
+    fn fresh_procedures_maintain_subsets() {
+        let s = compile(
+            "
+            class Person;
+            class Employee is-a Person;
+            class Manager is-a Employee;
+            ",
+        )
+        .unwrap();
+        let mut store = ManualSetStore::new(&s);
+        let manager = s.class_by_name("Manager").unwrap();
+        let person = s.class_by_name("Person").unwrap();
+        let o = store.create(manager);
+        assert!(store.is_member(o, person));
+        assert_eq!(store.subset_violations(&s), 0);
+    }
+
+    #[test]
+    fn evolution_without_regeneration_breaks_subsets() {
+        let s = compile(
+            "
+            class Person;
+            class Employee is-a Person;
+            class Contractor;
+            ",
+        )
+        .unwrap();
+        let mut store = ManualSetStore::new(&s);
+        let contractor = s.class_by_name("Contractor").unwrap();
+        let person = s.class_by_name("Person").unwrap();
+        // Evolution: Contractor becomes a kind of Person.
+        let evolved = add_super_edge(&s, contractor, person).unwrap();
+        // The maintainer forgets to regenerate the procedures…
+        let o = store.create(contractor);
+        assert!(!store.is_member(o, person), "stale procedure misses Person");
+        assert_eq!(store.subset_violations(&evolved.schema), 1);
+        // …until they remember, fixing only *future* objects.
+        store.regenerate_procedures(&evolved.schema);
+        let o2 = store.create(contractor);
+        assert!(store.is_member(o2, person));
+        assert_eq!(store.subset_violations(&evolved.schema), 1, "old object still wrong");
+    }
+
+    #[test]
+    fn maintenance_burden_is_counted() {
+        let s = compile("class A; class B is-a A; class C is-a B;").unwrap();
+        let mut store = ManualSetStore::new(&s);
+        assert_eq!(store.procedures_written, 3);
+        store.regenerate_procedures(&s);
+        assert_eq!(store.procedures_written, 6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Strict inheritance with reconciliation — §4.2.1.
+//!
+//! "The most obvious solution is to generalize the portion of superclass
+//! description which is being contradicted: PatientO could be treated by
+//! Health_Professionals […] Most other kinds of patients would however be
+//! treated only by physicians, so one would have to laboriously specialize
+//! the treatedBy attribute for Cardiac, Cancer, etc. patients."
+//!
+//! [`reconcile`] performs that transformation mechanically and reports its
+//! cost: the number of sibling subclasses whose constraint had to be
+//! restated — the commonality that inheritance was supposed to factor out.
+
+use chc_model::{AttrSpec, ClassId, ModelError, Range, Schema, SchemaBuilder, Sym};
+
+/// The bookkeeping cost of a reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReconcileCost {
+    /// Subclasses on which the original constraint had to be restated.
+    pub constraints_restated: usize,
+}
+
+/// Generalizes `(class, attr)` from its current range to `general`, then
+/// restates the *original* range on every descendant of `class` that does
+/// not already redeclare the attribute (so their instances keep the strict
+/// constraint). Returns the transformed schema and the cost.
+pub fn reconcile(
+    schema: &Schema,
+    class: ClassId,
+    attr: Sym,
+    general: Range,
+) -> Result<(Schema, ReconcileCost), ModelError> {
+    let original = schema
+        .declared_attr(class, attr)
+        .ok_or_else(|| ModelError::UnknownAttr {
+            class: schema.class_name(class).to_string(),
+            attr: schema.resolve(attr).to_string(),
+        })?
+        .spec
+        .clone();
+    let mut b = SchemaBuilder::from_schema(schema);
+    b.set_attr_spec(class, attr, AttrSpec { range: general, excuses: original.excuses.clone() })?;
+    let mut cost = ReconcileCost::default();
+    let attr_name = schema.resolve(attr).to_string();
+    for d in schema.descendants_with_self(class) {
+        if d == class || schema.declared_attr(d, attr).is_some() {
+            continue;
+        }
+        // Restate the original constraint so existing subclasses keep it.
+        b.add_attr(d, &attr_name, AttrSpec::plain(original.range.clone()))?;
+        cost.constraints_restated += 1;
+    }
+    Ok((b.build()?, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    #[test]
+    fn reconciliation_restates_on_every_sibling() {
+        let s = compile(
+            "
+            class Health_Professional;
+            class Physician is-a Health_Professional;
+            class Patient with treatedBy: Physician;
+            class Cardiac_Patient is-a Patient;
+            class Cancer_Patient is-a Patient;
+            class Burn_Patient is-a Patient;
+            ",
+        )
+        .unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let treated_by = s.sym("treatedBy").unwrap();
+        let hp = s.class_by_name("Health_Professional").unwrap();
+        let (s2, cost) = reconcile(&s, patient, treated_by, Range::Class(hp)).unwrap();
+        assert_eq!(cost.constraints_restated, 3, "one restatement per subclass");
+        // Each sibling now locally declares the original constraint…
+        let cardiac = s2.class_by_name("Cardiac_Patient").unwrap();
+        let physician = s2.class_by_name("Physician").unwrap();
+        assert_eq!(
+            s2.declared_attr(cardiac, treated_by).unwrap().spec.range,
+            Range::Class(physician)
+        );
+        // …and Patient itself is generalized.
+        assert_eq!(
+            s2.declared_attr(patient, treated_by).unwrap().spec.range,
+            Range::Class(hp)
+        );
+        // The reconciled schema passes a strict check (no excuses needed).
+        assert!(chc_core::check(&s2).is_ok());
+    }
+
+    #[test]
+    fn existing_redeclarations_are_left_alone() {
+        let s = compile(
+            "
+            class Physician;
+            class Oncologist is-a Physician;
+            class Anything;
+            class Patient with treatedBy: Physician;
+            class Cancer_Patient is-a Patient with treatedBy: Oncologist;
+            ",
+        )
+        .unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let treated_by = s.sym("treatedBy").unwrap();
+        let any = s.class_by_name("Anything").unwrap();
+        let (s2, cost) = reconcile(&s, patient, treated_by, Range::AnyEntity).unwrap();
+        let _ = any;
+        assert_eq!(cost.constraints_restated, 0);
+        let cancer = s2.class_by_name("Cancer_Patient").unwrap();
+        let oncologist = s2.class_by_name("Oncologist").unwrap();
+        assert_eq!(
+            s2.declared_attr(cancer, treated_by).unwrap().spec.range,
+            Range::Class(oncologist)
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_the_subtree() {
+        // The defect is quantitative: restatements scale with the number
+        // of unrelated siblings (E2's reconciliation row).
+        let mut src = String::from("class P0 with x: 1..10;\n");
+        for i in 0..25 {
+            src.push_str(&format!("class Sub{i} is-a P0;\n"));
+        }
+        let s = compile(&src).unwrap();
+        let p0 = s.class_by_name("P0").unwrap();
+        let x = s.sym("x").unwrap();
+        let (_, cost) = reconcile(&s, p0, x, Range::int(0, 1000).unwrap()).unwrap();
+        assert_eq!(cost.constraints_restated, 25);
+    }
+}

@@ -1,0 +1,53 @@
+//! E1 (figure component): schema-checking throughput vs. schema size.
+//!
+//! The verifiability claim: checking is cheap enough to run on every edit.
+//! The series should scale near-linearly in the number of declarations
+//! (each declaration is checked against its ancestors' constraints).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chc_bench::{sized_schema, SCHEMA_SIZES};
+use chc_core::check;
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_check_schema");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &SCHEMA_SIZES {
+        let schema = sized_schema(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, schema| {
+            b.iter(|| {
+                let report = check(schema);
+                assert!(report.is_ok());
+                report.diagnostics.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    use chc_workloads::{generate, seed_contradictions, HierarchyParams};
+    let mut group = c.benchmark_group("E1_detect_faults");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[100usize, 400] {
+        let gen = generate(&HierarchyParams { classes: n, seed: 0xDE7EC7, ..Default::default() });
+        let faults = gen.excused_sites.len().min(8);
+        let (mutated, _) = seed_contradictions(&gen, faults, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &mutated, |b, schema| {
+            b.iter(|| {
+                let report = check(schema);
+                assert!(!report.is_ok());
+                report.errors().count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check, bench_detection);
+criterion_main!(benches);

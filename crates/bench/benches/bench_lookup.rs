@@ -1,0 +1,101 @@
+//! E3 (figure): attribute-constraint resolution vs. hierarchy depth.
+//!
+//! Default inheritance "can be computed efficiently by searching up the
+//! subclass tree" — but the search is O(depth) per lookup, every time.
+//! The excuses approach consults the leaf's declaration and the O(1)
+//! excuse index; depth is irrelevant ("the proposed approach does not
+//! utilize in any form the topology of the inheritance hierarchy").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chc_baselines::default_range;
+use chc_bench::{chain_schema, CHAIN_DEPTHS};
+use chc_model::ClassId;
+use chc_types::{EntityFacts, TypeContext};
+
+fn bench_default_inheritance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_default_inheritance_search");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &d in &CHAIN_DEPTHS {
+        let schema = chain_schema(d);
+        // A class halfway down re-resolves through d/2 ancestors; use the
+        // one *above* the exceptional leaf so the search walks the chain.
+        let mid = ClassId::from_raw((d as u32).saturating_sub(2));
+        let attr = schema.sym("attr0").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &schema, |b, schema| {
+            b.iter(|| default_range(schema, mid, attr).unwrap().clone())
+        });
+    }
+    group.finish();
+}
+
+fn bench_excuses_attr_type(c: &mut Criterion) {
+    // The excuses system resolves at schema-compile time (precompute) and
+    // serves lookups from the O(1) cache — the series should stay flat.
+    let mut group = c.benchmark_group("E3_excuses_cached_lookup");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &d in &CHAIN_DEPTHS {
+        let schema = chain_schema(d);
+        let mid = ClassId::from_raw((d as u32).saturating_sub(2));
+        let attr = schema.sym("attr0").unwrap();
+        let ctx = TypeContext::new(&schema);
+        let cache = ctx.precompute();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &cache, |b, cache| {
+            b.iter(|| cache.get(mid, attr).unwrap().atoms.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_excuses_uncached(c: &mut Criterion) {
+    // For completeness: the uncached deduction, which does scale with the
+    // number of constraint-carrying ancestors.
+    let mut group = c.benchmark_group("E3_excuses_uncached_deduction");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &d in &CHAIN_DEPTHS {
+        let schema = chain_schema(d);
+        let leaf = ClassId::from_raw(d as u32 - 1);
+        let attr = schema.sym("attr0").unwrap();
+        let ctx = TypeContext::new(&schema);
+        let facts = EntityFacts::of_class(&schema, leaf);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &facts, |b, facts| {
+            b.iter(|| ctx.attr_type(facts, attr).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_universal_property(c: &mut Criterion) {
+    use chc_baselines::universally_true;
+    use chc_model::Range;
+    let mut group = c.benchmark_group("E3_universal_property_scan");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &d in &[16usize, 128] {
+        let schema = chain_schema(d);
+        let root = ClassId::from_raw(0);
+        let attr = schema.sym("attr0").unwrap();
+        let t0 = schema.sym("t0").unwrap();
+        let expected = Range::enumeration([t0]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &schema, |b, schema| {
+            b.iter(|| universally_true(schema, root, attr, &expected))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_default_inheritance,
+    bench_excuses_attr_type,
+    bench_excuses_uncached,
+    bench_universal_property
+);
+criterion_main!(benches);

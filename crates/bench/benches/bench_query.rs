@@ -1,0 +1,94 @@
+//! E4 (figure): query execution — run-time check elimination.
+//!
+//! §5.4: eliminating provably-unneeded safety tests should "considerably
+//! increase the efficiency of the code generated." The series compare, on
+//! the same unsafe query (`p.treatedAt.location.state`), the naive
+//! check-everything compiler against the type-guided one, across
+//! exceptional fractions ε — plus the guarded query whose checks vanish
+//! entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chc_query::{compile, execute, CheckMode, Query};
+use chc_types::TypeContext;
+use chc_workloads::{build_hospital, HospitalDb, HospitalParams};
+
+const PATIENTS: usize = 10_000;
+
+fn db(eps: f64) -> HospitalDb {
+    build_hospital(&HospitalParams {
+        patients: PATIENTS,
+        tubercular_fraction: eps,
+        alcoholic_fraction: 0.02,
+        ambulatory_fraction: 0.02,
+        ..Default::default()
+    })
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_state_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for eps in [0.0f64, 0.05, 0.20] {
+        let db = db(eps);
+        let ctx = TypeContext::with_virtuals(&db.virtualized);
+        let q = Query::over(db.ids.patient).emit(vec![
+            db.ids.treated_at,
+            db.ids.location,
+            db.ids.state,
+        ]);
+        for (label, mode) in [("naive", CheckMode::Always), ("eliminate", CheckMode::Eliminate)] {
+            let plan = compile(&ctx, &q, mode).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("eps={eps}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| {
+                        let r = execute(&db.virtualized.schema, &db.store, plan);
+                        assert_eq!(r.stats.unchecked_failures, 0);
+                        r.stats.rows_emitted
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_guarded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_guarded_state_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let db = db(0.05);
+    let ctx = TypeContext::with_virtuals(&db.virtualized);
+    let guarded = Query::over(db.ids.patient)
+        .where_not_in(db.ids.tubercular)
+        .emit(vec![db.ids.treated_at, db.ids.location, db.ids.state]);
+    for (label, mode) in [("naive", CheckMode::Always), ("eliminate", CheckMode::Eliminate)] {
+        let plan = compile(&ctx, &guarded, mode).unwrap();
+        if mode == CheckMode::Eliminate {
+            assert_eq!(plan.checks_per_row(), 0, "guard must eliminate every check");
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| execute(&db.virtualized.schema, &db.store, plan).stats.rows_emitted)
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    // Compilation itself must stay cheap (it runs the safety analysis).
+    let db = db(0.05);
+    let ctx = TypeContext::with_virtuals(&db.virtualized);
+    let q = Query::over(db.ids.patient)
+        .where_not_in(db.ids.tubercular)
+        .emit(vec![db.ids.treated_at, db.ids.location, db.ids.state]);
+    c.bench_function("E4_compile_query", |b| {
+        b.iter(|| compile(&ctx, &q, CheckMode::Eliminate).unwrap().checks_per_row())
+    });
+}
+
+criterion_group!(benches, bench_modes, bench_guarded, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E6 (figure): attribute fetch latency across storage layouts.
+//!
+//! §5.5: horizontal partitioning splits the exceptional subclasses into
+//! their own logical files; "the type deduction algorithm can then help
+//! reduce the run-time search for the file where some particular object's
+//! attribute value is located." Series: single variant-record table,
+//! partitioned with blind scan, partitioned with type-guided search, and
+//! the perfect-directory lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chc_storage::{PartitionedStore, VariantStore};
+use chc_workloads::{build_hospital, HospitalParams};
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_fetch_attr");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for eps in [0.05f64, 0.20] {
+        let db = build_hospital(&HospitalParams {
+            patients: 20_000,
+            tubercular_fraction: eps,
+            alcoholic_fraction: eps / 2.0,
+            ambulatory_fraction: eps / 2.0,
+            ..Default::default()
+        });
+        let s = &db.virtualized.schema;
+        let exceptional = [db.ids.tubercular, db.ids.alcoholic, db.ids.ambulatory];
+        let part = PartitionedStore::build(s, &db.store, db.ids.patient, &exceptional).unwrap();
+        let variant = VariantStore::build(s, &db.store, db.ids.patient);
+        let sample: Vec<_> = db.patients.iter().copied().step_by(3).collect();
+        let known_not: Vec<Vec<_>> = sample
+            .iter()
+            .map(|&p| {
+                exceptional
+                    .iter()
+                    .copied()
+                    .filter(|&cl| !db.store.is_member(p, cl))
+                    .collect()
+            })
+            .collect();
+        let attr = db.ids.age;
+        let tag = format!("eps={eps}");
+
+        group.bench_function(BenchmarkId::new("variant_table", &tag), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % sample.len();
+                variant.fetch(sample[i], attr).value
+            })
+        });
+        group.bench_function(BenchmarkId::new("partitioned_scan", &tag), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % sample.len();
+                part.fetch_scan(sample[i], attr).value
+            })
+        });
+        group.bench_function(BenchmarkId::new("partitioned_guided", &tag), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % sample.len();
+                part.fetch_guided(sample[i], attr, &[], &known_not[i]).value
+            })
+        });
+        group.bench_function(BenchmarkId::new("partitioned_directory", &tag), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % sample.len();
+                part.fetch_directory(sample[i], attr).value
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_build_layout");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let db = build_hospital(&HospitalParams {
+        patients: 20_000,
+        tubercular_fraction: 0.05,
+        ..Default::default()
+    });
+    let s = &db.virtualized.schema;
+    group.bench_function("partitioned", |b| {
+        b.iter(|| {
+            PartitionedStore::build(s, &db.store, db.ids.patient, &[db.ids.tubercular])
+                .unwrap()
+                .num_fragments()
+        })
+    });
+    group.bench_function("variant", |b| {
+        b.iter(|| VariantStore::build(s, &db.store, db.ids.patient).byte_len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch, bench_build);
+criterion_main!(benches);

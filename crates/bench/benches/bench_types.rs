@@ -1,0 +1,83 @@
+//! E8 (figure): type-reasoning cost vs. schema size.
+//!
+//! §5.4 promises a reasoning system of "order of low polynomial". The
+//! series measure subtype decisions, effective-type deduction, whole-
+//! schema precomputation, and negative deduction as the schema grows; the
+//! report binary fits the scaling exponent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chc_bench::{sized_schema, SCHEMA_SIZES};
+use chc_model::ClassId;
+use chc_types::{deduce_not_in, subtype, EntityFacts, Ty, TypeContext, TySet};
+
+fn bench_subtype(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_subtype_decision");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &SCHEMA_SIZES {
+        let schema = sized_schema(n);
+        let a = Ty::Class(ClassId::from_raw(n as u32 - 1));
+        let b_ty = Ty::Class(ClassId::from_raw(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, schema| {
+            b.iter(|| subtype(schema, &a, &b_ty))
+        });
+    }
+    group.finish();
+}
+
+fn bench_attr_type(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_attr_type_deduction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &SCHEMA_SIZES {
+        let schema = sized_schema(n);
+        let ctx = TypeContext::new(&schema);
+        let leaf = ClassId::from_raw(n as u32 - 1);
+        let facts = EntityFacts::of_class(&schema, leaf);
+        let attr = schema.sym("attr0").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &facts, |b, facts| {
+            b.iter(|| ctx.attr_type(facts, attr))
+        });
+    }
+    group.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_precompute_all_types");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[50usize, 100, 400] {
+        let schema = sized_schema(n);
+        let ctx = TypeContext::new(&schema);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ctx, |b, ctx| {
+            b.iter(|| ctx.precompute().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_negative_deduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_negative_deduction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[50usize, 100, 400] {
+        let schema = sized_schema(n);
+        let ctx = TypeContext::new(&schema);
+        let facts = EntityFacts::unknown(&schema);
+        let attr = schema.sym("attr0").unwrap();
+        // Value known to avoid every token: refutes every declarer.
+        let attr_ty = TySet::never();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &facts, |b, facts| {
+            b.iter(|| deduce_not_in(&ctx, facts, attr, &attr_ty).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subtype, bench_attr_type, bench_precompute, bench_negative_deduction);
+criterion_main!(benches);

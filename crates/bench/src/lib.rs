@@ -1,0 +1,71 @@
+//! # chc-bench — shared fixtures for the experiment harness
+//!
+//! The Criterion benches (one per experiment figure) and the `report`
+//! binary (one section per experiment table) share the fixture builders
+//! here. See EXPERIMENTS.md at the workspace root for the experiment
+//! index and DESIGN.md for the claim each experiment operationalizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chc_model::Schema;
+use chc_workloads::{generate, HierarchyParams};
+
+/// The schema sizes the scaling experiments sweep.
+pub const SCHEMA_SIZES: [usize; 5] = [50, 100, 400, 1600, 3200];
+
+/// Chain depths for the lookup experiment (E3).
+pub const CHAIN_DEPTHS: [usize; 5] = [4, 16, 64, 128, 256];
+
+/// Exceptional fractions the query/storage experiments sweep (E4, E6).
+pub const EPSILONS: [f64; 5] = [0.0, 0.01, 0.05, 0.20, 0.50];
+
+/// A generated schema of `n` classes with the default mix of excused
+/// contradictions (deterministic per size).
+pub fn sized_schema(n: usize) -> Schema {
+    generate(&HierarchyParams { classes: n, seed: 0xE1 + n as u64, ..Default::default() })
+        .schema
+}
+
+/// A pure chain `C0 <- C1 <- … <- C(d-1)` where the root declares `attr0`
+/// and the leaf contradicts-and-excuses it — worst case for search-based
+/// default inheritance, constant-time for the excuse index.
+pub fn chain_schema(depth: usize) -> Schema {
+    use chc_model::{AttrSpec, Range, SchemaBuilder};
+    let mut b = SchemaBuilder::new();
+    let t0 = b.intern("t0");
+    let t1 = b.intern("t1");
+    let attr = b.intern("attr0");
+    let root = b.declare("C0").unwrap();
+    b.add_attr(root, "attr0", AttrSpec::plain(Range::enumeration([t0]).unwrap())).unwrap();
+    let mut prev = root;
+    for i in 1..depth {
+        let c = b.declare(&format!("C{i}")).unwrap();
+        b.add_super(c, prev).unwrap();
+        prev = c;
+    }
+    if depth > 1 {
+        // The leaf carries the exceptional redefinition.
+        b.add_attr(
+            prev,
+            "attr0",
+            AttrSpec::plain(Range::enumeration([t1]).unwrap()).excusing(attr, root),
+        )
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let s = sized_schema(50);
+        assert_eq!(s.num_classes(), 50);
+        let c = chain_schema(16);
+        assert_eq!(c.num_classes(), 16);
+        assert!(chc_core::check(&c).is_ok());
+    }
+}

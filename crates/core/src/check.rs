@@ -1,0 +1,699 @@
+//! The schema checker: §5.1's revised rule for specialization.
+//!
+//! > "The revised rule for specialization is that if a subclass specifies
+//! > a new range for an existing attribute, then this range must itself be
+//! > a specialization of the inherited range(s), or it must excuse the
+//! > definition(s) of the constraint(s) being contradicted."
+//!
+//! The checker also enforces the multiple-inheritance side of the rule
+//! (§5.3): a class inheriting mutually unsatisfiable constraints is an
+//! error unless an excuse adjudicates, and it reports redundant excuses
+//! as warnings. Because contradictions must be *explicit*, the checker can
+//! distinguish erroneous definitions from intentional ones — the property
+//! default inheritance destroys (§4.2.4).
+
+use chc_model::{ClassId, Range, Schema, Sym};
+
+use crate::diagnostics::{CheckReport, DiagKind, Diagnostic, Severity};
+
+/// Checks a whole schema against the specialization-or-excuse rule.
+///
+/// ```
+/// use chc_sdl::compile;
+/// use chc_core::check;
+///
+/// let schema = compile("
+///     class Physician;
+///     class Psychologist;
+///     class Patient with treatedBy: Physician;
+///     class Alcoholic is-a Patient with treatedBy: Psychologist;
+/// ").unwrap();
+/// // Unexcused contradiction: rejected.
+/// assert!(!check(&schema).is_ok());
+///
+/// let fixed = compile("
+///     class Physician;
+///     class Psychologist;
+///     class Patient with treatedBy: Physician;
+///     class Alcoholic is-a Patient with
+///         treatedBy: Psychologist excuses treatedBy on Patient;
+/// ").unwrap();
+/// assert!(check(&fixed).is_ok());
+/// ```
+pub fn check(schema: &Schema) -> CheckReport {
+    let mut report = CheckReport::default();
+    for class in schema.class_ids() {
+        check_class(schema, class, &mut report);
+    }
+    report
+}
+
+/// Checks a single class (used incrementally by schema evolution: after a
+/// local edit only the touched class and its descendants need rechecking —
+/// the *locality* desideratum of §5).
+pub fn check_class(schema: &Schema, class: ClassId, report: &mut CheckReport) {
+    // Part 1: each locally declared attribute vs. each inherited constraint.
+    for decl in &schema.class(class).attrs {
+        check_declaration(schema, class, decl.name, report);
+    }
+    // Part 2: joint satisfiability of inherited constraints (multiple
+    // inheritance / diamond memberships). Single-parent classes inherit
+    // exactly their parent's constraint sets (checked at the parent), so
+    // only locally declared attributes can introduce new pairs there;
+    // join points must consider every applicable attribute.
+    if schema.supers(class).len() < 2 {
+        for decl in &schema.class(class).attrs {
+            check_joint_satisfiability(schema, class, decl.name, report);
+        }
+    } else {
+        for attr in schema.applicable_attrs(class) {
+            check_joint_satisfiability(schema, class, attr, report);
+        }
+    }
+}
+
+fn check_declaration(schema: &Schema, class: ClassId, attr: Sym, report: &mut CheckReport) {
+    let spec = &schema.declared_attr(class, attr).expect("declared").spec;
+    let s_range = &spec.range;
+
+    for &ancestor in schema.declarers_of(attr) {
+        if !schema.is_strict_subclass(class, ancestor) {
+            continue;
+        }
+        let decl_b = schema.declared_attr(ancestor, attr).expect("declarer");
+        let r_range = &decl_b.spec.range;
+        let contradiction = !r_range.subsumes(schema, s_range);
+        let has_local_excuse = spec.excuses.iter().any(|e| e.on == ancestor && e.attr == attr);
+
+        if !contradiction {
+            // Proper specialization; a local excuse for it is redundant.
+            if has_local_excuse {
+                report.diagnostics.push(Diagnostic {
+                    severity: Severity::Warning,
+                    kind: DiagKind::RedundantExcuse { on: ancestor },
+                    class,
+                    attr,
+                });
+            }
+            continue;
+        }
+
+        // The constraint (ancestor, attr) is contradicted. Under the §5.2
+        // semantics an instance of `class` escapes it only through an
+        // excuser E it *belongs to* whose range S_E admits the value, so a
+        // declaration is sound iff some excuser E with class ⊆ E has
+        // S ⊆ S_E. (E = class itself when the local declaration carries
+        // the excuse; then S_E = S trivially.)
+        let mut first_applicable = None;
+        let mut covered = false;
+        let mut covered_by_other = false;
+        for e in schema.applicable_excusers(class, ancestor, attr) {
+            first_applicable.get_or_insert(e.excuser);
+            if schema.excuser_spec(e).range.subsumes(schema, s_range) {
+                covered = true;
+                covered_by_other |= e.excuser != class;
+            }
+        }
+
+        let Some(first_applicable) = first_applicable else {
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                kind: DiagKind::UnexcusedContradiction { contradicted: ancestor },
+                class,
+                attr,
+            });
+            continue;
+        };
+
+        if !covered {
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                kind: DiagKind::ExcuseRangeEscape {
+                    contradicted: ancestor,
+                    excuser: first_applicable,
+                },
+                class,
+                attr,
+            });
+        } else if has_local_excuse && covered_by_other {
+            // Already excused by an ancestor (the SpecialAlc case, §5.3):
+            // "nothing wrong will happen if an excuse is added — it will
+            // simply be redundant."
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Warning,
+                kind: DiagKind::RedundantExcuse { on: ancestor },
+                class,
+                attr,
+            });
+        }
+    }
+}
+
+/// For every pair of constraints on `attr` inherited by `class`, verify
+/// that a common value can exist once applicable excuses are folded in.
+/// The *allowed set* of a constraint for instances of `class` is its range
+/// plus the ranges of excusers that `class` is a subclass of; two
+/// constraints are jointly satisfiable (to first order) iff their allowed
+/// sets overlap.
+fn check_joint_satisfiability(
+    schema: &Schema,
+    class: ClassId,
+    attr: Sym,
+    report: &mut CheckReport,
+) {
+    // A class with a single parent and no local declaration inherits
+    // exactly its parent's constraint set, whose joint satisfiability is
+    // checked at the parent — and the allowed sets only *grow* toward the
+    // leaves (more excusers become applicable), so the verdict carries
+    // down. Only join points and declarers need checking.
+    if schema.supers(class).len() < 2 && schema.declared_attr(class, attr).is_none() {
+        return;
+    }
+    let constraints = schema.constraints_on(class, attr);
+    if constraints.len() < 2 {
+        return;
+    }
+
+    // The allowed set of a constraint — its range plus the ranges of
+    // excusers applicable to this class — is built lazily; most pairs
+    // already pass on their raw ranges.
+    let allowed = |b: ClassId, range| {
+        let mut ranges: Vec<&Range> = vec![range];
+        for e in schema.applicable_excusers(class, b, attr) {
+            ranges.push(&schema.excuser_spec(e).range);
+        }
+        ranges
+    };
+
+    for i in 0..constraints.len() {
+        for j in i + 1..constraints.len() {
+            let (b1, spec1) = constraints[i];
+            let (b2, spec2) = constraints[j];
+            // Same downward-monotonicity argument per pair: if some direct
+            // parent already inherits both constraints, it owns the check.
+            let covered_by_parent = schema
+                .supers(class)
+                .iter()
+                .any(|&p| schema.is_subclass(p, b1) && schema.is_subclass(p, b2));
+            if covered_by_parent {
+                continue;
+            }
+            if spec1.range.overlaps(schema, &spec2.range) {
+                continue;
+            }
+            let rs1 = allowed(b1, &spec1.range);
+            let rs2 = allowed(b2, &spec2.range);
+            let overlap = rs1
+                .iter()
+                .any(|r1| rs2.iter().any(|r2| r1.overlaps(schema, r2)));
+            if !overlap {
+                // Avoid duplicating a contradiction already reported by the
+                // declaration check (sub contradicts super directly).
+                let related = schema.is_subclass(b1, b2) || schema.is_subclass(b2, b1);
+                let already_reported = related
+                    && report.diagnostics.iter().any(|d| {
+                        d.attr == attr
+                            && matches!(
+                                d.kind,
+                                DiagKind::UnexcusedContradiction { .. }
+                                    | DiagKind::ExcuseRangeEscape { .. }
+                            )
+                            && (d.class == b1 || d.class == b2 || d.class == class)
+                    });
+                if !already_reported {
+                    report.diagnostics.push(Diagnostic {
+                        severity: Severity::Error,
+                        kind: DiagKind::IncompatibleParents { a: b1, b: b2 },
+                        class,
+                        attr,
+                    });
+                }
+            }
+        }
+    }
+
+    // Exact k-way satisfiability over the allowed sets. Every provably
+    // disjoint *pair* was already attributed by name above; this catches
+    // the residual case where all pairs overlap but no single value
+    // satisfies the whole set. Skip when this site already has an error
+    // (the schema is known broken here; a second report is noise) or when
+    // the whole constraint set is co-inherited through one parent and
+    // nothing is declared locally (checked there).
+    let already_errored = report.diagnostics.iter().any(|d| {
+        d.class == class && d.attr == attr && d.severity == Severity::Error
+    });
+    let all_covered = schema.declared_attr(class, attr).is_none()
+        && schema.supers(class).iter().any(|&p| {
+            constraints.iter().all(|(b, _)| schema.is_subclass(p, *b))
+        });
+    if already_errored || all_covered {
+        return;
+    }
+    let declaration_errored = report.diagnostics.iter().any(|d| {
+        d.attr == attr
+            && d.severity == Severity::Error
+            && constraints.iter().any(|(b, _)| d.class == *b)
+    });
+    if declaration_errored {
+        return;
+    }
+    // Fast path: if the constraint set has a *unique minimal* declarer M
+    // whose declaration passed the acceptance rule, every value of M's
+    // range already satisfies each ancestor constraint (directly or via
+    // the excuse branch the instance is entitled to) — the site is
+    // satisfiable by construction. Only genuine multi-lineage joins (two
+    // or more incomparable minimal declarers) need the k-way test.
+    let minimal_count = constraints
+        .iter()
+        .filter(|(b, _)| {
+            !constraints
+                .iter()
+                .any(|(other, _)| other != b && schema.is_strict_subclass(*other, *b))
+        })
+        .count();
+    if minimal_count <= 1 {
+        return;
+    }
+    // An admission test with early exit: does the constraint (b, raw)
+    // admit some value matching `pred`, either via its own range or via an
+    // excuser branch an instance of `class` is entitled to? Allowed sets
+    // can carry hundreds of excuser ranges; they are never materialized.
+    let admits = |b: ClassId, raw: &Range, pred: &dyn Fn(&Range) -> bool| {
+        pred(raw)
+            || schema
+                .applicable_excusers(class, b, attr)
+                .any(|e| pred(&schema.excuser_spec(e).range))
+    };
+    let all_admit = |pred: &dyn Fn(&Range) -> bool| {
+        constraints.iter().all(|(b, spec)| admits(*b, &spec.range, pred))
+    };
+
+    // Kind shortcuts (a common value of that kind certainly exists).
+    if all_admit(&|r| matches!(r, Range::None))
+        || all_admit(&|r| matches!(r, Range::Str))
+        || all_admit(&|r| matches!(r, Range::Record { base: None, .. }))
+        || all_admit(&|r| {
+            matches!(
+                r,
+                Range::Class(_) | Range::AnyEntity | Range::Record { base: Some(_), .. }
+            )
+        })
+    {
+        return;
+    }
+
+    // Tokens: materialize the first constraint's admitted tokens once
+    // (any common token must be among them), then filter candidates
+    // through the remaining constraints with early-exit admission tests.
+    let (b0, spec0) = constraints[0];
+    let mut candidates: Vec<Sym> = {
+        let mut toks = std::collections::BTreeSet::new();
+        if let Range::Enum(set) = &spec0.range {
+            toks.extend(set.iter().copied());
+        }
+        for e in schema.applicable_excusers(class, b0, attr) {
+            if let Range::Enum(set) = &schema.excuser_spec(e).range {
+                toks.extend(set.iter().copied());
+            }
+        }
+        toks.into_iter().collect()
+    };
+    for (b, spec) in constraints.iter().skip(1) {
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.retain(|t| {
+            admits(*b, &spec.range, &|r| matches!(r, Range::Enum(set) if set.contains(t)))
+        });
+    }
+    if !candidates.is_empty() {
+        return;
+    }
+
+    // Integers: the first constraint's admitted intervals, clipped through
+    // the rest (each further constraint's intervals are collected lazily).
+    let mut intervals: Vec<(i64, i64)> = {
+        let mut out = Vec::new();
+        if let Range::Int { lo, hi } = spec0.range {
+            out.push((lo, hi));
+        }
+        for e in schema.applicable_excusers(class, b0, attr) {
+            if let Range::Int { lo, hi } = schema.excuser_spec(e).range {
+                out.push((lo, hi));
+            }
+        }
+        out
+    };
+    for (b, spec) in constraints.iter().skip(1) {
+        if intervals.is_empty() {
+            break;
+        }
+        let mut theirs: Vec<(i64, i64)> = Vec::new();
+        if let Range::Int { lo, hi } = spec.range {
+            theirs.push((lo, hi));
+        }
+        for e in schema.applicable_excusers(class, *b, attr) {
+            if let Range::Int { lo, hi } = schema.excuser_spec(e).range {
+                theirs.push((lo, hi));
+            }
+        }
+        let mut next = Vec::new();
+        for &(alo, ahi) in &intervals {
+            for &(blo, bhi) in &theirs {
+                let lo = alo.max(blo);
+                let hi = ahi.min(bhi);
+                if lo <= hi {
+                    next.push((lo, hi));
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        intervals = next;
+    }
+    if !intervals.is_empty() {
+        return;
+    }
+
+    report.diagnostics.push(Diagnostic {
+        severity: Severity::Error,
+        kind: DiagKind::JointlyUnsatisfiable {
+            declarers: constraints.iter().map(|(b, _)| *b).collect(),
+        },
+        class,
+        attr,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    fn check_src(src: &str) -> (Schema, CheckReport) {
+        let schema = compile(src).unwrap();
+        let report = check(&schema);
+        (schema, report)
+    }
+
+    #[test]
+    fn proper_specialization_is_clean() {
+        let (_, report) = check_src(
+            "
+            class Person with age: 1..120;
+            class Employee is-a Person with age: 16..65;
+            ",
+        );
+        assert!(report.is_ok());
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn unexcused_contradiction_is_an_error() {
+        let (schema, report) = check_src(
+            "
+            class Physician;
+            class Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with treatedBy: Psychologist;
+            ",
+        );
+        assert!(!report.is_ok());
+        let errs: Vec<_> = report.errors().collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].class, schema.class_by_name("Alcoholic").unwrap());
+        assert!(matches!(errs[0].kind, DiagKind::UnexcusedContradiction { .. }));
+    }
+
+    #[test]
+    fn excused_contradiction_is_accepted() {
+        let (_, report) = check_src(
+            "
+            class Physician;
+            class Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            ",
+        );
+        assert!(report.is_ok(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn redundant_excuse_is_a_warning() {
+        let (_, report) = check_src(
+            "
+            class Person with age: 1..120;
+            class Employee is-a Person with
+                age: 16..65 excuses age on Person;
+            ",
+        );
+        assert!(report.is_ok());
+        assert_eq!(report.warnings().count(), 1);
+    }
+
+    #[test]
+    fn special_alc_inherits_the_excuse() {
+        // §5.3: FOO ⊆ Psychologist needs no further excuse.
+        let (_, report) = check_src(
+            "
+            class Physician;
+            class Psychologist;
+            class FOO is-a Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            class SpecialAlc is-a Alcoholic with treatedBy: FOO;
+            ",
+        );
+        assert!(report.is_ok(), "{:?}", report.diagnostics);
+        assert_eq!(report.warnings().count(), 0);
+    }
+
+    #[test]
+    fn special_alc_with_redundant_excuse_warns() {
+        let (_, report) = check_src(
+            "
+            class Physician;
+            class Psychologist;
+            class FOO is-a Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            class SpecialAlc is-a Alcoholic with
+                treatedBy: FOO excuses treatedBy on Patient;
+            ",
+        );
+        assert!(report.is_ok());
+        assert_eq!(report.warnings().count(), 1);
+    }
+
+    #[test]
+    fn special_alc_escaping_both_needs_excuses_on_both() {
+        // §5.3: "if FOO is not a subclass of Psychologist, then treatedBy
+        // needs to be excused on Alcoholic; and if FOO is not even a
+        // subclass of Physicians, then treatedBy needs to be excused on
+        // Patient as well."
+        let base = "
+            class Physician;
+            class Psychologist;
+            class Chiropractor;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+        ";
+        // Missing both excuses: two errors.
+        let (_, report) = check_src(&format!(
+            "{base} class SpecialAlc is-a Alcoholic with treatedBy: Chiropractor;"
+        ));
+        assert_eq!(report.errors().count(), 2);
+        // Excusing only Alcoholic still contradicts Patient.
+        let (_, report) = check_src(&format!(
+            "{base} class SpecialAlc is-a Alcoholic with
+                treatedBy: Chiropractor excuses treatedBy on Alcoholic;"
+        ));
+        assert_eq!(report.errors().count(), 1);
+        // Excusing both is clean.
+        let (_, report) = check_src(&format!(
+            "{base} class SpecialAlc is-a Alcoholic with
+                treatedBy: Chiropractor
+                    excuses treatedBy on Alcoholic
+                    excuses treatedBy on Patient;"
+        ));
+        assert!(report.is_ok(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unexcused_diamond_is_incompatible() {
+        let (schema, report) = check_src(
+            "
+            class Person with opinion: {'Hawk, 'Dove, 'Ostrich};
+            class Quaker is-a Person with opinion: {'Dove};
+            class Republican is-a Person with opinion: {'Hawk};
+            class QR is-a Quaker, Republican;
+            ",
+        );
+        let errs: Vec<_> = report.errors().collect();
+        assert_eq!(errs.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(errs[0].class, schema.class_by_name("QR").unwrap());
+        assert!(matches!(errs[0].kind, DiagKind::IncompatibleParents { .. }));
+    }
+
+    #[test]
+    fn mutually_excused_diamond_is_accepted() {
+        let (_, report) = check_src(
+            "
+            class Person with opinion: {'Hawk, 'Dove, 'Ostrich};
+            class Quaker is-a Person with
+                opinion: {'Dove} excuses opinion on Republican;
+            class Republican is-a Person with
+                opinion: {'Hawk} excuses opinion on Quaker;
+            class QR is-a Quaker, Republican;
+            ",
+        );
+        assert!(report.is_ok(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn one_sided_excuse_resolves_blood_pressure() {
+        // §5.1: hemorrhage's low blood pressure overrides renal failure's
+        // high blood pressure.
+        let (_, report) = check_src(
+            "
+            class Patient;
+            class Renal_Failure_Patient is-a Patient with bloodPressure: 140..220;
+            class Hemorrhaging_Patient is-a Patient with
+                bloodPressure: 50..90 excuses bloodPressure on Renal_Failure_Patient;
+            class Both is-a Renal_Failure_Patient, Hemorrhaging_Patient;
+            ",
+        );
+        assert!(report.is_ok(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn none_range_contradiction_requires_excuse() {
+        // §4.1: ward is inapplicable to ambulatory patients.
+        let (_, report) = check_src(
+            "
+            class Ward;
+            class Patient with ward: Ward;
+            class Ambulatory_Patient is-a Patient with ward: None;
+            ",
+        );
+        assert_eq!(report.errors().count(), 1);
+        let (_, report) = check_src(
+            "
+            class Ward;
+            class Patient with ward: Ward;
+            class Ambulatory_Patient is-a Patient with
+                ward: None excuses ward on Patient;
+            ",
+        );
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn excuse_range_escape_detected() {
+        // The excuse admits Psychologist, but the subclass claims a range
+        // outside both Physician and Psychologist.
+        let (_, report) = check_src(
+            "
+            class Physician;
+            class Psychologist;
+            class Plumber;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            class Odd is-a Alcoholic with treatedBy: Plumber;
+            ",
+        );
+        let errs: Vec<_> = report.errors().collect();
+        // Plumber contradicts Psychologist (Alcoholic) — unexcused — and
+        // contradicts Physician (Patient) where the applicable excuse
+        // (via Alcoholic) does not cover Plumber.
+        assert_eq!(errs.len(), 2);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, DiagKind::ExcuseRangeEscape { .. })));
+    }
+
+    #[test]
+    fn grandparent_contradiction_also_checked() {
+        let (_, report) = check_src(
+            "
+            class A with x: 1..100;
+            class B is-a A with x: 10..50;
+            class C is-a B with x: 200..300;
+            ",
+        );
+        // C contradicts both A and B.
+        assert_eq!(report.errors().count(), 2);
+    }
+
+    #[test]
+    fn three_way_conflict_detected_even_when_pairs_overlap() {
+        // {a,b} ∩ {b,c} ∩ {a,c}: every pair overlaps, the triple is empty.
+        let (schema, report) = check_src(
+            "
+            class P1 with p: {'a, 'b};
+            class P2 with p: {'b, 'c};
+            class P3 with p: {'a, 'c};
+            class Join is-a P1, P2, P3;
+            ",
+        );
+        let errs: Vec<_> = report.errors().collect();
+        assert_eq!(errs.len(), 1, "{}", report.render(&schema));
+        assert_eq!(errs[0].class, schema.class_by_name("Join").unwrap());
+        assert!(matches!(errs[0].kind, DiagKind::JointlyUnsatisfiable { .. }));
+        // One excuse (usable by Join) restores satisfiability.
+        let (schema2, report2) = check_src(
+            "
+            class P1 with p: {'a, 'b};
+            class P2 with p: {'b, 'c};
+            class P3 with p: {'a, 'c} excuses p on P2;
+            class Join is-a P1, P2, P3;
+            ",
+        );
+        // P3's excuse lets P2's constraint admit {'a,'c}; 'a satisfies all.
+        assert!(report2.is_ok(), "{}", report2.render(&schema2));
+    }
+
+    #[test]
+    fn three_way_integer_conflict_detected() {
+        let (_, report) = check_src(
+            "
+            class P1 with p: 1..10;
+            class P2 with p: 8..20;
+            class P3 with p: 12..30;
+            class Join is-a P1, P2, P3;
+            ",
+        );
+        assert_eq!(report.errors().count(), 1);
+        // With compatible intervals the join is fine.
+        let (_, ok) = check_src(
+            "
+            class P1 with p: 1..10;
+            class P2 with p: 8..20;
+            class P3 with p: 9..30;
+            class Join is-a P1, P2, P3;
+            ",
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn cross_hierarchy_excuse_is_legal() {
+        // Quaker excuses Republican although neither is an ancestor of the
+        // other (§5.3: "any specification on a class can contradict (and
+        // excuse) a constraint on any other class").
+        let (_, report) = check_src(
+            "
+            class Person with opinion: {'Hawk, 'Dove};
+            class Republican is-a Person with opinion: {'Hawk};
+            class Quaker is-a Person with
+                opinion: {'Dove} excuses opinion on Republican;
+            ",
+        );
+        assert!(report.is_ok(), "{:?}", report.diagnostics);
+    }
+}

@@ -1,0 +1,166 @@
+//! Checker diagnostics.
+//!
+//! The paper's *verifiability* desideratum (§5): "the language compiler or
+//! environment should be able to alert the programmer about cases of
+//! inconsistent specification." Diagnostics are the alerting vehicle:
+//! hard errors for unexcused contradictions, warnings for redundant
+//! excuses ("nothing wrong will happen if an excuse is added — it will
+//! simply be redundant", §5.3).
+
+use std::fmt;
+
+use chc_model::{ClassId, Schema, Sym};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; the schema is still well-formed.
+    Warning,
+    /// The schema violates the specialization-or-excuse rule.
+    Error,
+}
+
+/// What went wrong (or is merely odd).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagKind {
+    /// A subclass redefined an attribute with a range that is not a
+    /// specialization of an inherited range, and no applicable excuse
+    /// covers the contradicted constraint (§5.1's revised rule).
+    UnexcusedContradiction {
+        /// The class carrying the contradicted constraint.
+        contradicted: ClassId,
+    },
+    /// The declared range escapes the excusing range: an excuse for the
+    /// contradicted constraint exists, but the new range is not within
+    /// what the excuser allows, so instances would still violate the
+    /// §5.2 semantics.
+    ExcuseRangeEscape {
+        /// The class carrying the contradicted constraint.
+        contradicted: ClassId,
+        /// The excuser whose range was escaped.
+        excuser: ClassId,
+    },
+    /// Two inherited constraints on the same attribute are mutually
+    /// unsatisfiable and neither is excused — instances of this class
+    /// cannot exist (the unexcused Quaker∧Republican situation, §4.1).
+    IncompatibleParents {
+        /// One constraint-carrying ancestor.
+        a: ClassId,
+        /// The other.
+        b: ClassId,
+    },
+    /// Every pair of inherited constraints overlaps, but no single value
+    /// satisfies all of them at once (a k-way conflict) — instances of
+    /// this class still cannot exist.
+    JointlyUnsatisfiable {
+        /// The constraint-carrying ancestors.
+        declarers: Vec<ClassId>,
+    },
+    /// An excuse was stated for a constraint the declaration does not in
+    /// fact contradict (harmless; §5.3).
+    RedundantExcuse {
+        /// The excused class.
+        on: ClassId,
+    },
+}
+
+/// One checker finding, attached to a class/attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The finding.
+    pub kind: DiagKind,
+    /// The class whose definition triggered the finding.
+    pub class: ClassId,
+    /// The attribute involved.
+    pub attr: Sym,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic with names resolved against `schema`.
+    pub fn render(&self, schema: &Schema) -> String {
+        let class = schema.class_name(self.class);
+        let attr = schema.resolve(self.attr);
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        match &self.kind {
+            DiagKind::UnexcusedContradiction { contradicted } => format!(
+                "{sev}: `{class}.{attr}` contradicts the constraint on `{}` without excusing it; \
+                 add `excuses {attr} on {}` or specialize the range",
+                schema.class_name(*contradicted),
+                schema.class_name(*contradicted),
+            ),
+            DiagKind::ExcuseRangeEscape { contradicted, excuser } => format!(
+                "{sev}: `{class}.{attr}` is excused on `{}` via `{}`, but its range is not \
+                 contained in the excusing range",
+                schema.class_name(*contradicted),
+                schema.class_name(*excuser),
+            ),
+            DiagKind::IncompatibleParents { a, b } => format!(
+                "{sev}: `{class}` inherits incompatible constraints on `{attr}` from `{}` and \
+                 `{}`; instances cannot satisfy both — excuse one of them",
+                schema.class_name(*a),
+                schema.class_name(*b),
+            ),
+            DiagKind::JointlyUnsatisfiable { declarers } => format!(
+                "{sev}: no value of `{class}.{attr}` can satisfy all of the constraints \
+                 inherited from {} at once — excuse at least one of them",
+                declarers
+                    .iter()
+                    .map(|d| format!("`{}`", schema.class_name(*d)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            DiagKind::RedundantExcuse { on } => format!(
+                "{sev}: the excuse of `{}.{attr}` by `{class}` is redundant (the range is already \
+                 a specialization or another excuse applies)",
+                schema.class_name(*on),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The result of checking a schema.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All findings, in class-id order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// Whether the schema is accepted (no errors; warnings allowed).
+    pub fn is_ok(&self) -> bool {
+        self.diagnostics.iter().all(|d| d.severity != Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Renders every finding against `schema`, one per line.
+    pub fn render(&self, schema: &Schema) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

@@ -1,0 +1,274 @@
+//! Excusable integrity assertions — §2d meets §5.
+//!
+//! Beyond type constraints, "there are other assertions which one would
+//! like to state as part of a logical theory of the application domain:
+//! e.g., Employees earn less than their supervisors. Such assertions can
+//! often be attached to one (or a few) classes" (§2d). The summary (§6)
+//! notes the excuse mechanism extends "to deal with contradictions
+//! arising in situations other than subclasses, as well as inherited
+//! integrity assertions".
+//!
+//! An [`Assertion`] is a named predicate attached to a class and
+//! inherited by its subclasses. A class may *excuse* an assertion,
+//! optionally substituting its own predicate — mirroring the §5.2 rule:
+//! an instance must satisfy each applicable assertion unless it belongs
+//! to an excusing class, in which case the original **or** the substitute
+//! must hold. The motivating §4.1 case: executives are employees, but
+//! they are "supervised by members of the Board of Directors, who are not
+//! employees themselves".
+
+use chc_model::{ClassId, Oid, Schema};
+
+use crate::store::ExtentStore;
+
+/// A predicate over one stored object.
+pub type AssertionPred<'p> = Box<dyn Fn(&ExtentStore, Oid) -> bool + 'p>;
+
+/// A named integrity assertion attached to a class.
+pub struct Assertion<'p> {
+    /// Human-readable name, used in violation reports.
+    pub name: String,
+    /// The class carrying the assertion; subclasses inherit it.
+    pub on: ClassId,
+    /// The predicate every instance must satisfy (unless excused).
+    pub pred: AssertionPred<'p>,
+}
+
+/// An `excuses <assertion> on <class>` clause for assertions: instances of
+/// `excuser` escape the assertion, provided the substitute (when present)
+/// holds.
+pub struct AssertionExcuse<'p> {
+    /// Index of the excused assertion in the registry.
+    pub assertion: usize,
+    /// The class whose instances take the excuse branch.
+    pub excuser: ClassId,
+    /// The replacement condition; `None` means unconditionally excused.
+    pub substitute: Option<AssertionPred<'p>>,
+}
+
+/// A registry of assertions and their excuses for one schema.
+#[derive(Default)]
+pub struct AssertionSet<'p> {
+    assertions: Vec<Assertion<'p>>,
+    excuses: Vec<AssertionExcuse<'p>>,
+}
+
+/// One violated assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionViolation {
+    /// Index of the violated assertion.
+    pub assertion: usize,
+    /// Its name.
+    pub name: String,
+}
+
+impl<'p> AssertionSet<'p> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an assertion to a class; returns its index.
+    pub fn assert_on(
+        &mut self,
+        on: ClassId,
+        name: &str,
+        pred: impl Fn(&ExtentStore, Oid) -> bool + 'p,
+    ) -> usize {
+        self.assertions.push(Assertion {
+            name: name.to_string(),
+            on,
+            pred: Box::new(pred),
+        });
+        self.assertions.len() - 1
+    }
+
+    /// Excuses an assertion for instances of `excuser`, unconditionally.
+    pub fn excuse(&mut self, assertion: usize, excuser: ClassId) {
+        self.excuses.push(AssertionExcuse { assertion, excuser, substitute: None });
+    }
+
+    /// Excuses an assertion for instances of `excuser`, substituting a
+    /// replacement condition (the §5.2 "excusing attribute specification").
+    pub fn excuse_with(
+        &mut self,
+        assertion: usize,
+        excuser: ClassId,
+        substitute: impl Fn(&ExtentStore, Oid) -> bool + 'p,
+    ) {
+        self.excuses.push(AssertionExcuse {
+            assertion,
+            excuser,
+            substitute: Some(Box::new(substitute)),
+        });
+    }
+
+    /// The registered assertions.
+    pub fn assertions(&self) -> &[Assertion<'p>] {
+        &self.assertions
+    }
+
+    /// Validates one object against every applicable assertion under the
+    /// §5.2-shaped rule: satisfy the assertion, or belong to an excuser
+    /// whose substitute (the original condition when absent) holds.
+    pub fn validate(
+        &self,
+        schema: &Schema,
+        store: &ExtentStore,
+        oid: Oid,
+    ) -> Vec<AssertionViolation> {
+        let mut out = Vec::new();
+        for (i, a) in self.assertions.iter().enumerate() {
+            if !store.is_member(oid, a.on) {
+                continue;
+            }
+            if (a.pred)(store, oid) {
+                continue;
+            }
+            // The original fails; look for an applicable excuse branch.
+            let excused = self.excuses.iter().any(|e| {
+                e.assertion == i
+                    && store.is_member(oid, e.excuser)
+                    && e.substitute.as_ref().is_none_or(|sub| sub(store, oid))
+            });
+            if !excused {
+                out.push(AssertionViolation { assertion: i, name: a.name.clone() });
+            }
+        }
+        let _ = schema;
+        out
+    }
+
+    /// Validates every instance of `root`, returning offenders.
+    pub fn validate_extent(
+        &self,
+        schema: &Schema,
+        store: &ExtentStore,
+        root: ClassId,
+    ) -> Vec<(Oid, Vec<AssertionViolation>)> {
+        store
+            .extent(root)
+            .filter_map(|o| {
+                let v = self.validate(schema, store, o);
+                (!v.is_empty()).then_some((o, v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_model::Value;
+    use chc_sdl::compile;
+
+    /// The §2d/§4.1 payroll world: employees earn less than their
+    /// supervisors; executives are supervised by board members (who are
+    /// not employees) and are excused from the comparison — instead their
+    /// supervisor must be a Board_Member.
+    fn setup() -> (Schema, ExtentStore, AssertionSet<'static>, Oid, Oid, Oid) {
+        let schema = compile(
+            "
+            class Person with salary: Integer;
+            class Board_Member is-a Person;
+            class Employee is-a Person with supervisor: Person;
+            class Executive is-a Employee;
+            ",
+        )
+        .unwrap();
+        let employee = schema.class_by_name("Employee").unwrap();
+        let executive = schema.class_by_name("Executive").unwrap();
+        let board = schema.class_by_name("Board_Member").unwrap();
+        let salary = schema.sym("salary").unwrap();
+        let supervisor = schema.sym("supervisor").unwrap();
+
+        let mut store = ExtentStore::new(&schema);
+        let boss = store.create(&schema, &[employee]);
+        store.set_attr(boss, salary, Value::Int(200));
+        let worker = store.create(&schema, &[employee]);
+        store.set_attr(worker, salary, Value::Int(100));
+        store.set_attr(worker, supervisor, Value::Obj(boss));
+        let director = store.create(&schema, &[board]);
+        let ceo = store.create(&schema, &[executive]);
+        store.set_attr(ceo, salary, Value::Int(500));
+        store.set_attr(ceo, supervisor, Value::Obj(director));
+        store.set_attr(boss, supervisor, Value::Obj(ceo));
+
+        let mut set = AssertionSet::new();
+        let earns_less = set.assert_on(employee, "earns-less-than-supervisor", move |st, o| {
+            let Some(Value::Int(own)) = st.get_attr(o, salary) else { return false };
+            match st.follow(o, supervisor).and_then(|s| st.get_attr(s, salary).cloned()) {
+                Some(Value::Int(sup)) => own < &sup,
+                _ => false,
+            }
+        });
+        set.excuse_with(earns_less, executive, move |st, o| {
+            st.follow(o, supervisor).is_some_and(|s| st.is_member(s, board))
+        });
+        (schema, store, set, worker, boss, ceo)
+    }
+
+    #[test]
+    fn ordinary_employees_obey_the_assertion() {
+        let (schema, store, set, worker, _, _) = setup();
+        assert!(set.validate(&schema, &store, worker).is_empty());
+    }
+
+    #[test]
+    fn executives_are_excused_with_a_substitute() {
+        // The CEO out-earns everyone and is supervised by a non-employee;
+        // without the excuse this violates, with it the substitute holds.
+        let (schema, store, set, _, _, ceo) = setup();
+        assert!(set.validate(&schema, &store, ceo).is_empty());
+    }
+
+    #[test]
+    fn the_excuse_does_not_leak_to_non_executives() {
+        // `boss` is supervised by the CEO but earns less... make boss earn
+        // MORE than the CEO: a plain employee violating the assertion is
+        // caught even though executives are excused.
+        let (schema, mut store, set, _, boss, _) = setup();
+        let salary = schema.sym("salary").unwrap();
+        store.set_attr(boss, salary, Value::Int(1000));
+        let violations = set.validate(&schema, &store, boss);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].name, "earns-less-than-supervisor");
+    }
+
+    #[test]
+    fn substitute_must_actually_hold() {
+        // An executive supervised by a plain employee (not a board member)
+        // fails the substitute and keeps the violation.
+        let (schema, mut store, set, _, boss, ceo) = setup();
+        let supervisor = schema.sym("supervisor").unwrap();
+        store.set_attr(ceo, supervisor, Value::Obj(boss));
+        let violations = set.validate(&schema, &store, ceo);
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn extent_sweep_finds_exactly_the_offenders() {
+        let (schema, mut store, set, _, boss, _) = setup();
+        let employee = schema.class_by_name("Employee").unwrap();
+        assert!(set.validate_extent(&schema, &store, employee).is_empty());
+        let salary = schema.sym("salary").unwrap();
+        store.set_attr(boss, salary, Value::Int(1000));
+        let bad = set.validate_extent(&schema, &store, employee);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, boss);
+    }
+
+    #[test]
+    fn unconditional_excuse() {
+        let schema = compile("class A; class B is-a A;").unwrap();
+        let a = schema.class_by_name("A").unwrap();
+        let b = schema.class_by_name("B").unwrap();
+        let mut store = ExtentStore::new(&schema);
+        let x = store.create(&schema, &[b]);
+        let mut set = AssertionSet::new();
+        let id = set.assert_on(a, "always-fails", |_, _| false);
+        assert_eq!(set.validate(&schema, &store, x).len(), 1);
+        set.excuse(id, b);
+        assert!(set.validate(&schema, &store, x).is_empty());
+    }
+}

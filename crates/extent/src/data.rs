@@ -1,0 +1,500 @@
+//! A concrete syntax for instance data, so whole databases can be loaded
+//! from text and validated:
+//!
+//! ```text
+//! -- <name> : <Class>[, <Class>…] { <attr> = <value>; … }
+//! greg  : Physician { name = "Greg", age = 52 }
+//! davos : Address   { city = "Davos", country = 'Switzerland }
+//! pat1  : Alcoholic { treatedBy = @greg, age = 40 }
+//! ```
+//!
+//! Values: integers, double-quoted strings (with `\"` and `\\` escapes),
+//! `'Token` enumeration literals, `@name` object references (forward
+//! references allowed), and `[f = v, …]` record values.
+
+use std::collections::HashMap;
+
+use chc_model::{Oid, Schema, Value};
+
+use crate::store::ExtentStore;
+
+/// A data-loading failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Syntax problem at (line, description).
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// An object name was defined twice.
+    DuplicateObject(String),
+    /// A class name not in the schema.
+    UnknownClass(String),
+    /// An attribute name never interned in the schema.
+    UnknownAttr(String),
+    /// An `@name` reference to an object never defined.
+    UnknownObject(String),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Syntax { line, what } => write!(f, "line {line}: {what}"),
+            DataError::DuplicateObject(n) => write!(f, "object `{n}` defined twice"),
+            DataError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            DataError::UnknownAttr(n) => write!(f, "unknown attribute `{n}`"),
+            DataError::UnknownObject(n) => write!(f, "reference to undefined object `@{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// The result of loading a data file.
+#[derive(Debug)]
+pub struct LoadedData {
+    /// The populated store.
+    pub store: ExtentStore,
+    /// Object name → surrogate, in definition order.
+    pub names: Vec<(String, Oid)>,
+}
+
+impl LoadedData {
+    /// Looks up an object by its data-file name.
+    pub fn oid(&self, name: &str) -> Option<Oid> {
+        self.names.iter().find(|(n, _)| n == name).map(|(_, o)| *o)
+    }
+}
+
+/// Parses and loads a data file against `schema`. Two passes: objects and
+/// memberships first (so `@refs` may point forward), then attributes.
+pub fn load_data(schema: &Schema, src: &str) -> Result<LoadedData, DataError> {
+    let mut store = ExtentStore::new(schema);
+    let mut names: Vec<(String, Oid)> = Vec::new();
+    let mut by_name: HashMap<String, Oid> = HashMap::new();
+
+    // Pass 1: create objects with memberships.
+    let entries = parse_entries(src)?;
+    for e in &entries {
+        if by_name.contains_key(&e.name) {
+            return Err(DataError::DuplicateObject(e.name.clone()));
+        }
+        let mut classes = Vec::new();
+        for cname in &e.classes {
+            classes.push(
+                schema
+                    .class_by_name(cname)
+                    .ok_or_else(|| DataError::UnknownClass(cname.clone()))?,
+            );
+        }
+        let oid = store.create(schema, &classes);
+        by_name.insert(e.name.clone(), oid);
+        names.push((e.name.clone(), oid));
+    }
+
+    // Pass 2: attributes.
+    for e in &entries {
+        let oid = by_name[&e.name];
+        for (attr_name, raw) in &e.attrs {
+            let attr = schema
+                .sym(attr_name)
+                .ok_or_else(|| DataError::UnknownAttr(attr_name.clone()))?;
+            let value = lower_value(schema, &by_name, raw)?;
+            store.set_attr(oid, attr, value);
+        }
+    }
+
+    Ok(LoadedData { store, names })
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RawValue {
+    Int(i64),
+    Str(String),
+    Tok(String),
+    Ref(String),
+    Record(Vec<(String, RawValue)>),
+}
+
+fn lower_value(
+    schema: &Schema,
+    by_name: &HashMap<String, Oid>,
+    raw: &RawValue,
+) -> Result<Value, DataError> {
+    Ok(match raw {
+        RawValue::Int(i) => Value::Int(*i),
+        RawValue::Str(s) => Value::str(s),
+        RawValue::Tok(t) => Value::Tok(
+            schema.sym(t).ok_or_else(|| DataError::UnknownAttr(t.clone()))?,
+        ),
+        RawValue::Ref(n) => Value::Obj(
+            *by_name.get(n).ok_or_else(|| DataError::UnknownObject(n.clone()))?,
+        ),
+        RawValue::Record(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (fname, fval) in fields {
+                let sym = schema
+                    .sym(fname)
+                    .ok_or_else(|| DataError::UnknownAttr(fname.clone()))?;
+                out.push((sym, lower_value(schema, by_name, fval)?));
+            }
+            Value::record(out)
+        }
+    })
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    classes: Vec<String>,
+    attrs: Vec<(String, RawValue)>,
+}
+
+fn parse_entries(src: &str) -> Result<Vec<Entry>, DataError> {
+    let mut out = Vec::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((lineno, line)) = lines.next() {
+        let mut text = strip_comment(line).trim().to_string();
+        if text.is_empty() {
+            continue;
+        }
+        // An entry may span lines until its closing `}`.
+        while !balanced(&text) {
+            match lines.next() {
+                Some((_, more)) => {
+                    text.push(' ');
+                    text.push_str(strip_comment(more).trim());
+                }
+                None => {
+                    return Err(DataError::Syntax {
+                        line: lineno + 1,
+                        what: "unterminated `{`".to_string(),
+                    })
+                }
+            }
+        }
+        out.push(parse_entry(lineno + 1, &text)?);
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `--` starts a comment unless inside a string literal.
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'-' if !in_str && bytes.get(i + 1) == Some(&b'-') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn balanced(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'{' | b'[' if !in_str => depth += 1,
+            b'}' | b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    depth == 0 && (text.contains('{') || !text.contains(':') || text.ends_with('}'))
+}
+
+fn parse_entry(line: usize, text: &str) -> Result<Entry, DataError> {
+    let err = |what: &str| DataError::Syntax { line, what: what.to_string() };
+    let (name, rest) = text
+        .split_once(':')
+        .ok_or_else(|| err("expected `name : Class { … }`"))?;
+    let name = name.trim().to_string();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err("object names are alphanumeric/underscore"));
+    }
+    let (classes_part, body) = match rest.split_once('{') {
+        Some((c, b)) => {
+            let b = b.trim_end();
+            let b = b
+                .strip_suffix('}')
+                .ok_or_else(|| err("expected closing `}`"))?;
+            (c, Some(b))
+        }
+        None => (rest, None),
+    };
+    let classes: Vec<String> = classes_part
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if classes.is_empty() {
+        return Err(err("expected at least one class"));
+    }
+    let mut attrs = Vec::new();
+    if let Some(body) = body {
+        for field in split_top_level(body) {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (attr, value) = field
+                .split_once('=')
+                .ok_or_else(|| err("expected `attr = value`"))?;
+            attrs.push((attr.trim().to_string(), parse_value(line, value.trim())?));
+        }
+    }
+    Ok(Entry { name, classes, attrs })
+}
+
+/// Splits on `,`/`;` at nesting depth zero, respecting strings.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\\' if in_str => {
+                cur.push(c);
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+            }
+            '[' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' | ';' if !in_str && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_value(line: usize, text: &str) -> Result<RawValue, DataError> {
+    let err = |what: String| DataError::Syntax { line, what };
+    if let Some(rest) = text.strip_prefix('@') {
+        return Ok(RawValue::Ref(rest.trim().to_string()));
+    }
+    if let Some(rest) = text.strip_prefix('\'') {
+        return Ok(RawValue::Tok(rest.trim().to_string()));
+    }
+    if text.starts_with('"') {
+        let inner = text
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or_else(|| err(format!("unterminated string `{text}`")))?;
+        let mut s = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    other => return Err(err(format!("bad escape `\\{other:?}`"))),
+                }
+            } else {
+                s.push(c);
+            }
+        }
+        return Ok(RawValue::Str(s));
+    }
+    if text.starts_with('[') {
+        let inner = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| err("unterminated `[`".to_string()))?;
+        let mut fields = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| err("expected `field = value` in record".to_string()))?;
+            fields.push((k.trim().to_string(), parse_value(line, v.trim())?));
+        }
+        return Ok(RawValue::Record(fields));
+    }
+    text.parse::<i64>()
+        .map(RawValue::Int)
+        .map_err(|_| err(format!("cannot parse value `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_core::{MissingPolicy, Semantics, ValidationOptions};
+    use chc_sdl::compile;
+
+    fn schema() -> Schema {
+        compile(
+            "
+            class Person with name: String; age: 1..120;
+            class Physician is-a Person;
+            class Psychologist is-a Person;
+            class Patient is-a Person with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            ",
+        )
+        .unwrap()
+    }
+
+    const DATA: &str = r#"
+        -- staff
+        greg : Physician { name = "Greg", age = 52 }
+        paul : Psychologist { name = "Paul", age = 44 }
+
+        pat1 : Patient {
+            name = "Ann",
+            age  = 30,
+            treatedBy = @greg
+        }
+        pat2 : Alcoholic { name = "Bob", age = 41, treatedBy = @paul }
+    "#;
+
+    #[test]
+    fn loads_and_validates() {
+        let s = schema();
+        let data = load_data(&s, DATA).unwrap();
+        assert_eq!(data.names.len(), 4);
+        let opts = ValidationOptions {
+            semantics: Semantics::Correct,
+            missing: MissingPolicy::Absent,
+        };
+        for (name, oid) in &data.names {
+            let v = crate::validate::validate_stored(&s, &data.store, opts, *oid);
+            assert!(v.is_empty(), "{name}: {v:?}");
+        }
+        // Memberships are right.
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let bob = data.oid("pat2").unwrap();
+        assert!(data.store.is_member(bob, alcoholic));
+        assert!(data.store.is_member(bob, patient));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let s = schema();
+        let data = load_data(
+            &s,
+            r#"
+            pat : Patient { name = "X", age = 5, treatedBy = @doc }
+            doc : Physician { name = "D", age = 50 }
+            "#,
+        )
+        .unwrap();
+        let pat = data.oid("pat").unwrap();
+        let doc = data.oid("doc").unwrap();
+        let treated_by = s.sym("treatedBy").unwrap();
+        assert_eq!(data.store.get_attr(pat, treated_by), Some(&Value::Obj(doc)));
+    }
+
+    #[test]
+    fn invalid_instances_are_caught_downstream() {
+        // The loader loads; the validator judges: a plain patient treated
+        // by a psychologist is invalid under the final semantics.
+        let s = schema();
+        let data = load_data(
+            &s,
+            r#"
+            paul : Psychologist { name = "Paul", age = 44 }
+            pat  : Patient { name = "Ann", age = 30, treatedBy = @paul }
+            "#,
+        )
+        .unwrap();
+        let opts = ValidationOptions {
+            semantics: Semantics::Correct,
+            missing: MissingPolicy::Absent,
+        };
+        let pat = data.oid("pat").unwrap();
+        let v = crate::validate::validate_stored(&s, &data.store, opts, pat);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn record_values_and_tokens() {
+        let s = compile(
+            "class T with home: [street: String; zip: 1..99999]; mood: {'Happy, 'Sad};",
+        )
+        .unwrap();
+        let data = load_data(
+            &s,
+            r#"t1 : T { home = [street = "Main \"St\"", zip = 123], mood = 'Happy }"#,
+        )
+        .unwrap();
+        let t1 = data.oid("t1").unwrap();
+        let home = s.sym("home").unwrap();
+        let street = s.sym("street").unwrap();
+        let v = data.store.get_attr(t1, home).unwrap();
+        assert_eq!(v.field(street), Some(&Value::str("Main \"St\"")));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let s = schema();
+        assert!(matches!(
+            load_data(&s, "x : Nobody {}"),
+            Err(DataError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            load_data(&s, "x : Patient { bogus = 1 }"),
+            Err(DataError::UnknownAttr(_))
+        ));
+        assert!(matches!(
+            load_data(&s, "x : Patient { treatedBy = @ghost }"),
+            Err(DataError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            load_data(&s, "x : Patient {}\nx : Patient {}"),
+            Err(DataError::DuplicateObject(_))
+        ));
+        assert!(matches!(
+            load_data(&s, "x : Patient { name = }"),
+            Err(DataError::Syntax { .. })
+        ));
+        assert!(matches!(
+            load_data(&s, "x : Patient { name = \"unclosed"),
+            Err(DataError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_memberships() {
+        let s = compile("class A; class B;").unwrap();
+        let data = load_data(&s, "x : A, B {}").unwrap();
+        let x = data.oid("x").unwrap();
+        assert!(data.store.is_member(x, s.class_by_name("A").unwrap()));
+        assert!(data.store.is_member(x, s.class_by_name("B").unwrap()));
+    }
+}

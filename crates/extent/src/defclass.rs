@@ -1,0 +1,87 @@
+//! Definitional (predicate) classes.
+//!
+//! §2c: extents "allow the specification of definitional classes:
+//! 'Employees satisfying some predicate P'". A [`DefClass`] is a base
+//! class plus a predicate; its extent is computed on demand from the base
+//! extent.
+
+use chc_model::{ClassId, Oid};
+
+use crate::store::ExtentStore;
+
+/// A predicate over one stored object.
+pub type ObjectPred<'p> = Box<dyn Fn(&ExtentStore, Oid) -> bool + 'p>;
+
+/// A class defined by a predicate over a base class's extent.
+pub struct DefClass<'p> {
+    /// The class quantified over.
+    pub base: ClassId,
+    /// The defining predicate.
+    pub pred: ObjectPred<'p>,
+}
+
+impl<'p> DefClass<'p> {
+    /// Defines a class `{ x ∈ base | pred(x) }`.
+    pub fn new(base: ClassId, pred: impl Fn(&ExtentStore, Oid) -> bool + 'p) -> Self {
+        DefClass { base, pred: Box::new(pred) }
+    }
+
+    /// The current extent.
+    pub fn members<'s>(&'s self, store: &'s ExtentStore) -> impl Iterator<Item = Oid> + 's {
+        store.extent(self.base).filter(move |&o| (self.pred)(store, o))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, store: &ExtentStore, oid: Oid) -> bool {
+        store.is_member(oid, self.base) && (self.pred)(store, oid)
+    }
+
+    /// Cardinality of the current extent.
+    pub fn count(&self, store: &ExtentStore) -> usize {
+        self.members(store).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_model::Value;
+    use chc_sdl::compile;
+
+    #[test]
+    fn definitional_class_follows_the_data() {
+        let s = compile("class Employee with salary: Integer;").unwrap();
+        let employee = s.class_by_name("Employee").unwrap();
+        let salary = s.sym("salary").unwrap();
+        let mut store = ExtentStore::new(&s);
+        for pay in [30_000, 60_000, 90_000] {
+            let o = store.create(&s, &[employee]);
+            store.set_attr(o, salary, Value::Int(pay));
+        }
+        let well_paid = DefClass::new(employee, move |st, o| {
+            matches!(st.get_attr(o, salary), Some(Value::Int(p)) if *p > 50_000)
+        });
+        assert_eq!(well_paid.count(&store), 2);
+        // Mutating the data changes the extent with no bookkeeping.
+        let poor: Vec<Oid> = store
+            .extent(employee)
+            .filter(|&o| !well_paid.contains(&store, o))
+            .collect();
+        for o in poor {
+            store.set_attr(o, salary, Value::Int(100_000));
+        }
+        assert_eq!(well_paid.count(&store), 3);
+    }
+
+    #[test]
+    fn non_members_of_base_are_excluded() {
+        let s = compile("class Employee; class Contractor;").unwrap();
+        let employee = s.class_by_name("Employee").unwrap();
+        let contractor = s.class_by_name("Contractor").unwrap();
+        let mut store = ExtentStore::new(&s);
+        let c = store.create(&s, &[contractor]);
+        let all = DefClass::new(employee, |_, _| true);
+        assert!(!all.contains(&store, c));
+        assert_eq!(all.count(&store), 0);
+    }
+}

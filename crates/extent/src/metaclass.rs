@@ -1,0 +1,136 @@
+//! Meta-classes: classes as objects (§2e).
+//!
+//! "Various subclasses such as Secretary, Professor, etc. might all be
+//! made instances (not subclasses!) of the meta-class Employee_Class, and
+//! each might have associated properties such as avgSalary (a property
+//! whose value might be obtained by summarizing over the extent of the
+//! class) and avgSalaryLimit (which records some policy constraint)."
+
+use std::collections::HashMap;
+
+use chc_model::{ClassId, Sym, Value};
+
+use crate::store::ExtentStore;
+
+/// A meta-class: a named collection of classes-as-objects with class-level
+/// attribute values.
+#[derive(Debug, Clone, Default)]
+pub struct MetaClass {
+    /// Member classes (instances of the meta-class).
+    members: Vec<ClassId>,
+    /// Class-level attribute values, e.g. `(Secretary, avgSalaryLimit)`.
+    attrs: HashMap<(ClassId, Sym), Value>,
+}
+
+impl MetaClass {
+    /// An empty meta-class.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes `class` an instance of this meta-class.
+    pub fn add_member(&mut self, class: ClassId) {
+        if !self.members.contains(&class) {
+            self.members.push(class);
+        }
+    }
+
+    /// The member classes.
+    pub fn members(&self) -> &[ClassId] {
+        &self.members
+    }
+
+    /// Whether `class` is an instance.
+    pub fn has_member(&self, class: ClassId) -> bool {
+        self.members.contains(&class)
+    }
+
+    /// Sets a class-level attribute (e.g. a policy constraint).
+    pub fn set_attr(&mut self, class: ClassId, attr: Sym, value: Value) {
+        self.attrs.insert((class, attr), value);
+    }
+
+    /// Reads a class-level attribute.
+    pub fn get_attr(&self, class: ClassId, attr: Sym) -> Option<&Value> {
+        self.attrs.get(&(class, attr))
+    }
+}
+
+/// Summarizes an integer attribute over a class extent — the paper's
+/// `avgSalary` example. Objects without the attribute are skipped;
+/// `None` when the extent has no valued members.
+pub fn avg_over_extent(store: &ExtentStore, class: ClassId, attr: Sym) -> Option<f64> {
+    let mut sum = 0i128;
+    let mut n = 0u64;
+    for o in store.extent(class) {
+        if let Some(Value::Int(v)) = store.get_attr(o, attr) {
+            sum += *v as i128;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    #[test]
+    fn avg_salary_and_policy_limit() {
+        let s = compile(
+            "
+            class Employee with salary: Integer;
+            class Secretary is-a Employee;
+            class Professor is-a Employee;
+            ",
+        )
+        .unwrap();
+        let secretary = s.class_by_name("Secretary").unwrap();
+        let professor = s.class_by_name("Professor").unwrap();
+        let salary = s.sym("salary").unwrap();
+        let mut store = ExtentStore::new(&s);
+        for pay in [40, 60] {
+            let o = store.create(&s, &[secretary]);
+            store.set_attr(o, salary, Value::Int(pay));
+        }
+        let p = store.create(&s, &[professor]);
+        store.set_attr(p, salary, Value::Int(100));
+
+        let mut employee_class = MetaClass::new();
+        employee_class.add_member(secretary);
+        employee_class.add_member(professor);
+        assert!(employee_class.has_member(secretary));
+        assert_eq!(employee_class.members().len(), 2);
+
+        // avgSalary summarizes the extent.
+        assert_eq!(avg_over_extent(&store, secretary, salary), Some(50.0));
+        assert_eq!(avg_over_extent(&store, professor, salary), Some(100.0));
+
+        // avgSalaryLimit is a class-level policy value, not an attribute
+        // of individual employees.
+        let limit = s.sym("salary").unwrap(); // reuse an interned symbol
+        employee_class.set_attr(secretary, limit, Value::Int(55));
+        assert_eq!(employee_class.get_attr(secretary, limit), Some(&Value::Int(55)));
+        assert_eq!(employee_class.get_attr(professor, limit), None);
+    }
+
+    #[test]
+    fn avg_of_empty_extent_is_none() {
+        let s = compile("class Employee with salary: Integer;").unwrap();
+        let employee = s.class_by_name("Employee").unwrap();
+        let salary = s.sym("salary").unwrap();
+        let store = ExtentStore::new(&s);
+        assert_eq!(avg_over_extent(&store, employee, salary), None);
+    }
+
+    #[test]
+    fn duplicate_members_are_ignored() {
+        let s = compile("class A;").unwrap();
+        let a = s.class_by_name("A").unwrap();
+        let mut m = MetaClass::new();
+        m.add_member(a);
+        m.add_member(a);
+        assert_eq!(m.members().len(), 1);
+    }
+}

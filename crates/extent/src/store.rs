@@ -1,0 +1,345 @@
+//! The extent store: objects, memberships, and attribute values.
+//!
+//! §2c: "Usually an extent is associated with a class, representing those
+//! objects which are instances of the class at some particular time."
+//! §3c: "if an object is added to the extent of Physician, it is
+//! automatically added to the extents of all its superclasses" — the
+//! subset constraint is maintained *by the store*, not by per-class
+//! procedures (the error-prone alternative the paper warns about, which
+//! `chc-baselines` implements for comparison).
+
+use std::collections::{BTreeSet, HashMap};
+
+use chc_model::{
+    BitSet, ClassId, InstanceView, Oid, OidAllocator, Schema, Sym, Value,
+};
+
+/// An in-memory object store keyed by the schema it was created against.
+///
+/// ```
+/// use chc_extent::ExtentStore;
+/// let schema = chc_sdl::compile("
+///     class Person;
+///     class Physician is-a Person;
+/// ").unwrap();
+/// let physician = schema.class_by_name("Physician").unwrap();
+/// let person = schema.class_by_name("Person").unwrap();
+/// let mut store = ExtentStore::new(&schema);
+/// let greg = store.create(&schema, &[physician]);
+/// // §3c: adding to Physician automatically adds to Person.
+/// assert!(store.is_member(greg, person));
+/// assert_eq!(store.count(person), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExtentStore {
+    num_classes: usize,
+    alloc: OidAllocator,
+    /// Per-object membership, upward closed.
+    membership: HashMap<Oid, BitSet>,
+    /// Per-class extents, kept in sync with `membership`.
+    extents: Vec<BTreeSet<Oid>>,
+    /// Attribute values.
+    values: HashMap<(Oid, Sym), Value>,
+}
+
+impl ExtentStore {
+    /// Creates an empty store for `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        ExtentStore {
+            num_classes: schema.num_classes(),
+            alloc: OidAllocator::new(),
+            membership: HashMap::new(),
+            extents: vec![BTreeSet::new(); schema.num_classes()],
+            values: HashMap::new(),
+        }
+    }
+
+    fn assert_schema(&self, schema: &Schema) {
+        assert_eq!(
+            self.num_classes,
+            schema.num_classes(),
+            "store used with a different schema"
+        );
+    }
+
+    /// Creates an object that is an instance of each of `classes` (and,
+    /// automatically, of all their superclasses).
+    pub fn create(&mut self, schema: &Schema, classes: &[ClassId]) -> Oid {
+        self.assert_schema(schema);
+        let oid = self.alloc.alloc();
+        let mut bits = BitSet::new(self.num_classes);
+        self.membership.insert(oid, bits.clone());
+        for &c in classes {
+            for a in schema.ancestors_with_self(c) {
+                if bits.insert(a.index()) {
+                    self.extents[a.index()].insert(oid);
+                }
+            }
+        }
+        self.membership.insert(oid, bits);
+        oid
+    }
+
+    /// Adds an existing object to a class (and its superclasses).
+    pub fn add_to_class(&mut self, schema: &Schema, oid: Oid, class: ClassId) {
+        self.assert_schema(schema);
+        let bits = self.membership.get_mut(&oid).expect("unknown object");
+        for a in schema.ancestors_with_self(class) {
+            if bits.insert(a.index()) {
+                self.extents[a.index()].insert(oid);
+            }
+        }
+    }
+
+    /// Removes an object from a class and every *subclass* (membership
+    /// must stay upward closed: an ex-Physician may remain a Person).
+    pub fn remove_from_class(&mut self, schema: &Schema, oid: Oid, class: ClassId) {
+        self.assert_schema(schema);
+        let bits = self.membership.get_mut(&oid).expect("unknown object");
+        for d in schema.descendants_with_self(class) {
+            if bits.remove(d.index()) {
+                self.extents[d.index()].remove(&oid);
+            }
+        }
+    }
+
+    /// Destroys an object entirely.
+    pub fn destroy(&mut self, oid: Oid) {
+        if let Some(bits) = self.membership.remove(&oid) {
+            for c in bits.iter() {
+                self.extents[c].remove(&oid);
+            }
+        }
+        self.values.retain(|(o, _), _| *o != oid);
+    }
+
+    /// Whether the object exists.
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.membership.contains_key(&oid)
+    }
+
+    /// Sets an attribute value.
+    pub fn set_attr(&mut self, oid: Oid, attr: Sym, value: Value) {
+        debug_assert!(self.membership.contains_key(&oid), "unknown object");
+        self.values.insert((oid, attr), value);
+    }
+
+    /// Reads an attribute value.
+    pub fn get_attr(&self, oid: Oid, attr: Sym) -> Option<&Value> {
+        self.values.get(&(oid, attr))
+    }
+
+    /// Clears an attribute value; returns whether one was set.
+    pub fn clear_attr(&mut self, oid: Oid, attr: Sym) -> bool {
+        self.values.remove(&(oid, attr)).is_some()
+    }
+
+    /// Membership test (O(1) via the per-object bitset).
+    pub fn is_member(&self, oid: Oid, class: ClassId) -> bool {
+        self.membership
+            .get(&oid)
+            .is_some_and(|bits| bits.contains(class.index()))
+    }
+
+    /// The classes `oid` belongs to.
+    pub fn classes_of(&self, oid: Oid) -> Vec<ClassId> {
+        self.membership
+            .get(&oid)
+            .map(|bits| bits.iter().map(|i| ClassId::from_raw(i as u32)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterates the extent of a class in surrogate order.
+    pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.extents[class.index()].iter().copied()
+    }
+
+    /// §2c: "perform operations like counting entities."
+    pub fn count(&self, class: ClassId) -> usize {
+        self.extents[class.index()].len()
+    }
+
+    /// Quantification over an extent: ∀x ∈ C. pred(x).
+    pub fn all(&self, class: ClassId, pred: impl FnMut(Oid) -> bool) -> bool {
+        self.extent(class).all(pred)
+    }
+
+    /// Quantification over an extent: ∃x ∈ C. pred(x).
+    pub fn any(&self, class: ClassId, pred: impl FnMut(Oid) -> bool) -> bool {
+        self.extent(class).any(pred)
+    }
+
+    /// Total number of live objects.
+    pub fn num_objects(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Follows one attribute step from an object to another object.
+    pub fn follow(&self, oid: Oid, attr: Sym) -> Option<Oid> {
+        match self.get_attr(oid, attr) {
+            Some(Value::Obj(o)) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Follows an attribute path, returning the final value (which may be
+    /// a scalar). `None` if any intermediate step is missing or non-entity.
+    pub fn follow_path(&self, oid: Oid, path: &[Sym]) -> Option<Value> {
+        let (last, steps) = path.split_last()?;
+        let mut cur = oid;
+        for &s in steps {
+            cur = self.follow(cur, s)?;
+        }
+        self.get_attr(cur, *last).cloned()
+    }
+}
+
+impl InstanceView for ExtentStore {
+    fn is_instance(&self, oid: Oid, class: ClassId) -> bool {
+        self.is_member(oid, class)
+    }
+    fn attr_value(&self, oid: Oid, attr: Sym) -> Option<Value> {
+        self.get_attr(oid, attr).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    fn schema() -> Schema {
+        compile(
+            "
+            class Person with age: 1..120;
+            class Physician is-a Person;
+            class Oncologist is-a Physician;
+            class Patient is-a Person;
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_propagates_to_superclass_extents() {
+        let s = schema();
+        let mut store = ExtentStore::new(&s);
+        let onc = s.class_by_name("Oncologist").unwrap();
+        let phys = s.class_by_name("Physician").unwrap();
+        let person = s.class_by_name("Person").unwrap();
+        let o = store.create(&s, &[onc]);
+        assert!(store.is_member(o, onc));
+        assert!(store.is_member(o, phys));
+        assert!(store.is_member(o, person));
+        assert_eq!(store.count(person), 1);
+        assert_eq!(store.count(s.class_by_name("Patient").unwrap()), 0);
+    }
+
+    #[test]
+    fn multiple_class_membership() {
+        let s = schema();
+        let mut store = ExtentStore::new(&s);
+        let phys = s.class_by_name("Physician").unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let person = s.class_by_name("Person").unwrap();
+        // A physician who is also a patient (§4.1's overlapping classes).
+        let o = store.create(&s, &[phys, patient]);
+        assert!(store.is_member(o, phys) && store.is_member(o, patient));
+        assert_eq!(store.count(person), 1, "one object, not two");
+    }
+
+    #[test]
+    fn remove_from_class_removes_descendants_only() {
+        let s = schema();
+        let mut store = ExtentStore::new(&s);
+        let onc = s.class_by_name("Oncologist").unwrap();
+        let phys = s.class_by_name("Physician").unwrap();
+        let person = s.class_by_name("Person").unwrap();
+        let o = store.create(&s, &[onc]);
+        store.remove_from_class(&s, o, phys);
+        assert!(!store.is_member(o, onc), "subclass membership must go too");
+        assert!(!store.is_member(o, phys));
+        assert!(store.is_member(o, person), "person membership survives");
+    }
+
+    #[test]
+    fn destroy_clears_everything() {
+        let s = schema();
+        let mut store = ExtentStore::new(&s);
+        let phys = s.class_by_name("Physician").unwrap();
+        let o = store.create(&s, &[phys]);
+        let age = s.sym("age").unwrap();
+        store.set_attr(o, age, Value::Int(50));
+        store.destroy(o);
+        assert!(!store.exists(o));
+        assert_eq!(store.count(phys), 0);
+        assert!(store.get_attr(o, age).is_none());
+    }
+
+    #[test]
+    fn attr_round_trip_and_clear() {
+        let s = schema();
+        let mut store = ExtentStore::new(&s);
+        let person = s.class_by_name("Person").unwrap();
+        let o = store.create(&s, &[person]);
+        let age = s.sym("age").unwrap();
+        assert!(store.get_attr(o, age).is_none());
+        store.set_attr(o, age, Value::Int(30));
+        assert_eq!(store.get_attr(o, age), Some(&Value::Int(30)));
+        assert!(store.clear_attr(o, age));
+        assert!(!store.clear_attr(o, age));
+    }
+
+    #[test]
+    fn quantification_and_iteration() {
+        let s = schema();
+        let mut store = ExtentStore::new(&s);
+        let person = s.class_by_name("Person").unwrap();
+        let age = s.sym("age").unwrap();
+        for i in 0..10 {
+            let o = store.create(&s, &[person]);
+            store.set_attr(o, age, Value::Int(20 + i));
+        }
+        assert_eq!(store.extent(person).count(), 10);
+        assert!(store.all(person, |o| matches!(store.get_attr(o, age), Some(Value::Int(a)) if *a >= 20)));
+        assert!(store.any(person, |o| store.get_attr(o, age) == Some(&Value::Int(25))));
+        assert!(!store.any(person, |o| store.get_attr(o, age) == Some(&Value::Int(99))));
+    }
+
+    #[test]
+    fn follow_paths() {
+        let s = compile(
+            "
+            class Address with city: String;
+            class Hospital with location: Address;
+            class Patient with treatedAt: Hospital;
+            ",
+        )
+        .unwrap();
+        let mut store = ExtentStore::new(&s);
+        let addr = store.create(&s, &[s.class_by_name("Address").unwrap()]);
+        let hosp = store.create(&s, &[s.class_by_name("Hospital").unwrap()]);
+        let pat = store.create(&s, &[s.class_by_name("Patient").unwrap()]);
+        let city = s.sym("city").unwrap();
+        let location = s.sym("location").unwrap();
+        let treated_at = s.sym("treatedAt").unwrap();
+        store.set_attr(addr, city, Value::str("Bern"));
+        store.set_attr(hosp, location, Value::Obj(addr));
+        store.set_attr(pat, treated_at, Value::Obj(hosp));
+        assert_eq!(
+            store.follow_path(pat, &[treated_at, location, city]),
+            Some(Value::str("Bern"))
+        );
+        assert_eq!(store.follow_path(pat, &[location]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schema")]
+    fn schema_mismatch_is_detected() {
+        let s1 = schema();
+        let s2 = compile("class Lonely;").unwrap();
+        let mut store = ExtentStore::new(&s1);
+        let lonely = s2.class_by_name("Lonely").unwrap();
+        store.create(&s2, &[lonely]);
+    }
+}

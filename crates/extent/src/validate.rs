@@ -1,0 +1,78 @@
+//! Store-integrated instance validation.
+
+use chc_core::{validate_object, ValidationOptions, Violation};
+use chc_model::{Oid, Schema};
+
+use crate::store::ExtentStore;
+
+/// Validates one stored object against every constraint applicable to its
+/// current memberships (§5.2 semantics chosen via `opts`).
+pub fn validate_stored(
+    schema: &Schema,
+    store: &ExtentStore,
+    opts: ValidationOptions,
+    oid: Oid,
+) -> Vec<Violation> {
+    validate_object(schema, store, opts, oid, &store.classes_of(oid))
+}
+
+/// Validates the whole store; returns `(oid, violations)` for each invalid
+/// object.
+pub fn validate_all(
+    schema: &Schema,
+    store: &ExtentStore,
+    opts: ValidationOptions,
+    root: chc_model::ClassId,
+) -> Vec<(Oid, Vec<Violation>)> {
+    store
+        .extent(root)
+        .filter_map(|o| {
+            let v = validate_stored(schema, store, opts, o);
+            (!v.is_empty()).then_some((o, v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_model::Value;
+    use chc_sdl::compile;
+
+    #[test]
+    fn stored_alcoholic_validates_through_the_excuse() {
+        let s = compile(
+            "
+            class Person;
+            class Physician is-a Person;
+            class Psychologist is-a Person;
+            class Patient is-a Person with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            ",
+        )
+        .unwrap();
+        let mut store = ExtentStore::new(&s);
+        let psych = store.create(&s, &[s.class_by_name("Psychologist").unwrap()]);
+        let phys = store.create(&s, &[s.class_by_name("Physician").unwrap()]);
+        let alcoholic = store.create(&s, &[s.class_by_name("Alcoholic").unwrap()]);
+        let plain = store.create(&s, &[s.class_by_name("Patient").unwrap()]);
+        let treated_by = s.sym("treatedBy").unwrap();
+        store.set_attr(alcoholic, treated_by, Value::Obj(psych));
+        store.set_attr(plain, treated_by, Value::Obj(phys));
+        let opts = ValidationOptions::default();
+        assert!(validate_stored(&s, &store, opts, alcoholic).is_empty());
+        assert!(validate_stored(&s, &store, opts, plain).is_empty());
+
+        // A *plain* patient treated by a psychologist is invalid — the
+        // excuse does not leak (the flaw of the Broadened semantics).
+        store.set_attr(plain, treated_by, Value::Obj(psych));
+        let violations = validate_stored(&s, &store, opts, plain);
+        assert_eq!(violations.len(), 1);
+
+        let patient = s.class_by_name("Patient").unwrap();
+        let bad = validate_all(&s, &store, opts, patient);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, plain);
+    }
+}

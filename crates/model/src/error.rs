@@ -1,0 +1,115 @@
+//! Errors raised while constructing a schema.
+
+use std::fmt;
+
+/// An error detected during schema construction.
+///
+/// These are *structural* errors (duplicate names, cycles, dangling
+/// references). Semantic errors — unexcused contradictions, improper
+/// specializations — are the business of `chc-core`'s checker and are
+/// reported as diagnostics, not as `ModelError`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// A class name was referenced but never declared.
+    UnknownClass(String),
+    /// The is-a graph contains a cycle through the named class.
+    IsACycle(String),
+    /// A class declares the same attribute twice.
+    DuplicateAttr {
+        /// The offending class.
+        class: String,
+        /// The duplicated attribute.
+        attr: String,
+    },
+    /// An edit addressed an attribute the class does not declare.
+    UnknownAttr {
+        /// The addressed class.
+        class: String,
+        /// The missing attribute.
+        attr: String,
+    },
+    /// A class lists the same superclass twice.
+    DuplicateSuper {
+        /// The offending class.
+        class: String,
+        /// The duplicated superclass.
+        superclass: String,
+    },
+    /// An `excuses p on C` clause names an attribute `p` that is neither
+    /// declared on `C` nor inherited by it.
+    ExcusedAttrUndeclared {
+        /// The class `C` named by the clause.
+        on: String,
+        /// The attribute `p` named by the clause.
+        attr: String,
+    },
+    /// An integer range with `lo > hi`.
+    InvalidIntRange {
+        /// The lower bound.
+        lo: i64,
+        /// The upper bound.
+        hi: i64,
+    },
+    /// An enumeration range with no tokens.
+    EmptyEnum,
+    /// A record type declares the same field twice.
+    DuplicateField {
+        /// The duplicated field name.
+        field: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateClass(name) => {
+                write!(f, "class `{name}` is declared more than once")
+            }
+            ModelError::UnknownClass(name) => write!(f, "unknown class `{name}`"),
+            ModelError::IsACycle(name) => {
+                write!(f, "the is-a hierarchy contains a cycle through `{name}`")
+            }
+            ModelError::DuplicateAttr { class, attr } => {
+                write!(f, "class `{class}` declares attribute `{attr}` twice")
+            }
+            ModelError::UnknownAttr { class, attr } => {
+                write!(f, "class `{class}` does not declare attribute `{attr}`")
+            }
+            ModelError::DuplicateSuper { class, superclass } => {
+                write!(f, "class `{class}` lists superclass `{superclass}` twice")
+            }
+            ModelError::ExcusedAttrUndeclared { on, attr } => write!(
+                f,
+                "excuse refers to attribute `{attr}` on `{on}`, but `{on}` neither declares nor inherits it"
+            ),
+            ModelError::InvalidIntRange { lo, hi } => {
+                write!(f, "invalid integer range {lo}..{hi} (lo > hi)")
+            }
+            ModelError::EmptyEnum => write!(f, "enumeration range has no tokens"),
+            ModelError::DuplicateField { field } => {
+                write!(f, "record type declares field `{field}` twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offender() {
+        let e = ModelError::DuplicateClass("Person".into());
+        assert!(e.to_string().contains("Person"));
+        let e = ModelError::ExcusedAttrUndeclared {
+            on: "Patient".into(),
+            attr: "treatedBy".into(),
+        };
+        assert!(e.to_string().contains("treatedBy"));
+        assert!(e.to_string().contains("Patient"));
+    }
+}

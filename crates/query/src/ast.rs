@@ -1,0 +1,81 @@
+//! Query abstract syntax.
+//!
+//! The query shape follows §5.4's motivating example: iterate a variable
+//! over a class extent, filter it with predicates (including the
+//! class-membership guards that drive type narrowing), and emit the value
+//! of an attribute path:
+//!
+//! ```text
+//! for p in Patient
+//! where p not in Tubercular_Patient
+//! emit p.treatedAt.location.state
+//! ```
+
+use chc_model::{ClassId, Sym};
+
+/// A filter predicate over the iteration variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// `p in C` — a membership guard; narrows the variable's type in the
+    /// rest of the query.
+    InClass(ClassId),
+    /// `p not in C` — the negative guard of §5.4's safety example.
+    NotInClass(ClassId),
+    /// `p.path in C` — membership of a path value.
+    PathInClass(Vec<Sym>, ClassId),
+    /// `p.path = 'Tok` — token equality.
+    TokEq(Vec<Sym>, Sym),
+    /// `p.path ≤ n` — integer comparison.
+    IntLe(Vec<Sym>, i64),
+}
+
+/// One query: scan, filter, project.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The class whose extent is scanned.
+    pub class: ClassId,
+    /// Conjunction of filters, applied in order (order matters for
+    /// narrowing: guards preceding the projection protect it).
+    pub filter: Vec<Pred>,
+    /// The attribute path projected for each surviving object.
+    pub emit: Vec<Sym>,
+}
+
+impl Query {
+    /// Starts a query over `class`.
+    pub fn over(class: ClassId) -> QueryBuilder {
+        QueryBuilder { class, filter: Vec::new() }
+    }
+}
+
+/// Fluent construction of queries.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    class: ClassId,
+    filter: Vec<Pred>,
+}
+
+impl QueryBuilder {
+    /// Adds an `in C` guard.
+    pub fn where_in(mut self, class: ClassId) -> Self {
+        self.filter.push(Pred::InClass(class));
+        self
+    }
+
+    /// Adds a `not in C` guard.
+    pub fn where_not_in(mut self, class: ClassId) -> Self {
+        self.filter.push(Pred::NotInClass(class));
+        self
+    }
+
+    /// Adds an arbitrary predicate.
+    pub fn where_pred(mut self, pred: Pred) -> Self {
+        self.filter.push(pred);
+        self
+    }
+
+    /// Finishes with the projection path.
+    pub fn emit(self, path: Vec<Sym>) -> Query {
+        Query { class: self.class, filter: self.filter, emit: path }
+    }
+}

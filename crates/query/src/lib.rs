@@ -1,0 +1,23 @@
+//! # chc-query — typed queries with run-time check elimination
+//!
+//! §5.4's payoff, end to end: a small query language over class extents
+//! ([`Query`]), a type-checking compiler ([`compile`]) that narrows the
+//! iteration variable through membership guards, warns about residual
+//! hazards, and — depending on [`CheckMode`] — inserts run-time safety
+//! checks only where a type error can actually occur; and an instrumented
+//! evaluator ([`execute`]) that counts checks and unchecked failures so
+//! experiment E4 can quantify the savings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod eval;
+pub mod parse;
+pub mod plan;
+
+pub use ast::{Pred, Query, QueryBuilder};
+pub use parse::{parse_query, QueryParseError};
+pub use eval::{execute, ExecResult, ExecStats};
+pub use plan::{compile, CheckMode, Plan, TypeError};

@@ -1,0 +1,397 @@
+//! A concrete syntax for queries.
+//!
+//! ```text
+//! for p in Patient
+//! where p not in Tubercular_Patient
+//!   and p.age <= 40
+//!   and p.treatedAt.location.state = 'NJ
+//! emit p.treatedAt.location.city
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! query  := "for" IDENT "in" IDENT ("where" pred ("and" pred)*)? "emit" path
+//! pred   := VAR "in" IDENT
+//!         | VAR "not" "in" IDENT
+//!         | path "in" IDENT
+//!         | path "=" "'" IDENT
+//!         | path "<=" INT
+//! path   := VAR ("." IDENT)+
+//! ```
+
+use chc_model::{Schema, Sym};
+
+use crate::ast::{Pred, Query};
+
+/// A query-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// Expected one thing, found another.
+    Expected {
+        /// What the grammar wanted.
+        what: String,
+        /// What was found.
+        found: String,
+    },
+    /// A class name not present in the schema.
+    UnknownClass(String),
+    /// An attribute name never interned in the schema (so no object can
+    /// have it).
+    UnknownAttr(String),
+    /// An enumeration token the schema never mentions.
+    UnknownToken(String),
+    /// The path must start with the iteration variable.
+    WrongVariable {
+        /// The declared variable.
+        expected: String,
+        /// What the path used.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryParseError::Expected { what, found } => {
+                write!(f, "expected {what}, found `{found}`")
+            }
+            QueryParseError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            QueryParseError::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
+            QueryParseError::UnknownToken(t) => write!(f, "unknown token `'{t}`"),
+            QueryParseError::WrongVariable { expected, found } => {
+                write!(f, "path must start with `{expected}`, found `{found}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parses a query against a schema (names resolve immediately).
+pub fn parse_query(schema: &Schema, src: &str) -> Result<Query, QueryParseError> {
+    let tokens = tokenize(src);
+    P { schema, tokens, at: 0 }.query()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum T {
+    Word(String),
+    Quoted(String),
+    Int(i64),
+    Dot,
+    Eq,
+    Le,
+    Eof,
+}
+
+fn tokenize(src: &str) -> Vec<T> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'.' => {
+                out.push(T::Dot);
+                i += 1;
+            }
+            b'=' => {
+                out.push(T::Eq);
+                i += 1;
+            }
+            b'<' if b.get(i + 1) == Some(&b'=') => {
+                out.push(T::Le);
+                i += 2;
+            }
+            b'\'' => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(T::Quoted(src[start..i].to_string()));
+            }
+            c if c.is_ascii_digit()
+                || (c == b'-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                out.push(T::Int(src[start..i].parse().unwrap_or(0)));
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'#')
+                {
+                    i += 1;
+                }
+                out.push(T::Word(src[start..i].to_string()));
+            }
+            _ => {
+                out.push(T::Word((c as char).to_string()));
+                i += 1;
+            }
+        }
+    }
+    out.push(T::Eof);
+    out
+}
+
+struct P<'s> {
+    schema: &'s Schema,
+    tokens: Vec<T>,
+    at: usize,
+}
+
+impl P<'_> {
+    fn peek(&self) -> &T {
+        &self.tokens[self.at]
+    }
+
+    fn bump(&mut self) -> T {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, kw: &str) -> Result<(), QueryParseError> {
+        match self.bump() {
+            T::Word(w) if w == kw => Ok(()),
+            other => Err(QueryParseError::Expected {
+                what: format!("`{kw}`"),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, QueryParseError> {
+        match self.bump() {
+            T::Word(w) => Ok(w),
+            other => Err(QueryParseError::Expected {
+                what: what.to_string(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn class(&mut self) -> Result<chc_model::ClassId, QueryParseError> {
+        let name = self.word("a class name")?;
+        self.schema
+            .class_by_name(&name)
+            .ok_or(QueryParseError::UnknownClass(name))
+    }
+
+    fn query(mut self) -> Result<Query, QueryParseError> {
+        self.expect_word("for")?;
+        let var = self.word("the iteration variable")?;
+        self.expect_word("in")?;
+        let class = self.class()?;
+        let mut filter = Vec::new();
+        if matches!(self.peek(), T::Word(w) if w == "where") {
+            self.bump();
+            loop {
+                filter.push(self.pred(&var)?);
+                if matches!(self.peek(), T::Word(w) if w == "and") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_word("emit")?;
+        let emit = self.path(&var)?;
+        match self.bump() {
+            T::Eof => Ok(Query { class, filter, emit }),
+            other => Err(QueryParseError::Expected {
+                what: "end of query".to_string(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// A predicate starting with the variable: either `var [not] in C` or
+    /// a path comparison.
+    fn pred(&mut self, var: &str) -> Result<Pred, QueryParseError> {
+        let head = self.word("the iteration variable")?;
+        if head != var {
+            return Err(QueryParseError::WrongVariable {
+                expected: var.to_string(),
+                found: head,
+            });
+        }
+        if matches!(self.peek(), T::Dot) {
+            let path = self.path_tail()?;
+            match self.bump() {
+                T::Word(w) if w == "in" => Ok(Pred::PathInClass(path, self.class()?)),
+                T::Eq => match self.bump() {
+                    T::Quoted(tok) => {
+                        let sym = self
+                            .schema
+                            .sym(&tok)
+                            .ok_or(QueryParseError::UnknownToken(tok))?;
+                        Ok(Pred::TokEq(path, sym))
+                    }
+                    other => Err(QueryParseError::Expected {
+                        what: "a token like `'NJ`".to_string(),
+                        found: format!("{other:?}"),
+                    }),
+                },
+                T::Le => match self.bump() {
+                    T::Int(n) => Ok(Pred::IntLe(path, n)),
+                    other => Err(QueryParseError::Expected {
+                        what: "an integer".to_string(),
+                        found: format!("{other:?}"),
+                    }),
+                },
+                other => Err(QueryParseError::Expected {
+                    what: "`in`, `=`, or `<=`".to_string(),
+                    found: format!("{other:?}"),
+                }),
+            }
+        } else {
+            match self.bump() {
+                T::Word(w) if w == "in" => Ok(Pred::InClass(self.class()?)),
+                T::Word(w) if w == "not" => {
+                    self.expect_word("in")?;
+                    Ok(Pred::NotInClass(self.class()?))
+                }
+                other => Err(QueryParseError::Expected {
+                    what: "`in` or `not in`".to_string(),
+                    found: format!("{other:?}"),
+                }),
+            }
+        }
+    }
+
+    fn path(&mut self, var: &str) -> Result<Vec<Sym>, QueryParseError> {
+        let head = self.word("the iteration variable")?;
+        if head != var {
+            return Err(QueryParseError::WrongVariable {
+                expected: var.to_string(),
+                found: head,
+            });
+        }
+        self.path_tail()
+    }
+
+    /// Parses `(.IDENT)+` after the variable.
+    fn path_tail(&mut self) -> Result<Vec<Sym>, QueryParseError> {
+        let mut out = Vec::new();
+        while matches!(self.peek(), T::Dot) {
+            self.bump();
+            let attr = self.word("an attribute name")?;
+            let sym = self
+                .schema
+                .sym(&attr)
+                .ok_or(QueryParseError::UnknownAttr(attr))?;
+            out.push(sym);
+        }
+        if out.is_empty() {
+            return Err(QueryParseError::Expected {
+                what: "`.attribute`".to_string(),
+                found: format!("{:?}", self.peek()),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_workloads::vignettes::{compiled, HOSPITAL};
+
+    #[test]
+    fn parses_the_paper_query() {
+        let schema = compiled(HOSPITAL);
+        let q = parse_query(&schema, "for p in Patient emit p.treatedAt.location.state")
+            .unwrap();
+        assert_eq!(q.class, schema.class_by_name("Patient").unwrap());
+        assert!(q.filter.is_empty());
+        assert_eq!(q.emit.len(), 3);
+    }
+
+    #[test]
+    fn parses_guards_and_comparisons() {
+        let schema = compiled(HOSPITAL);
+        let q = parse_query(
+            &schema,
+            "for p in Patient \
+             where p not in Tubercular_Patient \
+               and p in Alcoholic \
+               and p.age <= 40 \
+               and p.treatedAt.location.state = 'NJ \
+               and p.treatedBy in Psychologist \
+             emit p.name",
+        )
+        .unwrap();
+        assert_eq!(q.filter.len(), 5);
+        assert!(matches!(q.filter[0], Pred::NotInClass(_)));
+        assert!(matches!(q.filter[1], Pred::InClass(_)));
+        assert!(matches!(q.filter[2], Pred::IntLe(_, 40)));
+        assert!(matches!(q.filter[3], Pred::TokEq(..)));
+        assert!(matches!(q.filter[4], Pred::PathInClass(..)));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let schema = compiled(HOSPITAL);
+        assert!(matches!(
+            parse_query(&schema, "for p in Nobody emit p.name"),
+            Err(QueryParseError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            parse_query(&schema, "for p in Patient emit p.nonexistent"),
+            Err(QueryParseError::UnknownAttr(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_variable_is_rejected() {
+        let schema = compiled(HOSPITAL);
+        assert!(matches!(
+            parse_query(&schema, "for p in Patient emit q.name"),
+            Err(QueryParseError::WrongVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected() {
+        let schema = compiled(HOSPITAL);
+        for bad in [
+            "p in Patient emit p.name",
+            "for p Patient emit p.name",
+            "for p in Patient emit p",
+            "for p in Patient where p.age <= fast emit p.name",
+            "for p in Patient emit p.name trailing",
+        ] {
+            assert!(parse_query(&schema, bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parsed_query_compiles_and_runs() {
+        use crate::plan::{compile, CheckMode};
+        let db = chc_workloads::build_hospital(&chc_workloads::HospitalParams {
+            patients: 100,
+            ..Default::default()
+        });
+        let s = &db.virtualized.schema;
+        let q = parse_query(
+            s,
+            "for p in Patient where p not in Tubercular_Patient emit p.treatedAt.location.state",
+        )
+        .unwrap();
+        let ctx = chc_types::TypeContext::with_virtuals(&db.virtualized);
+        let plan = compile(&ctx, &q, CheckMode::Eliminate).unwrap();
+        assert_eq!(plan.checks_per_row(), 0);
+        let r = crate::eval::execute(s, &db.store, &plan);
+        assert_eq!(r.stats.unchecked_failures, 0);
+    }
+}

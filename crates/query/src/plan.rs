@@ -1,0 +1,290 @@
+//! The type-checking query compiler.
+//!
+//! §5.4 promises two payoffs from the type theory, both delivered here:
+//!
+//! * "It allows the compiler to warn the user that the query/program may
+//!   result in a run-time failure for certain database states" —
+//!   [`Plan::warnings`].
+//! * "If 'type-unsafe' queries are allowed to run, the compiler can avoid
+//!   the introduction of run-time safety tests in those cases where it has
+//!   determined that no type error can occur" — [`Plan::step_checks`]
+//!   holds a flag per projection step, true only where a hazard survives
+//!   the guards.
+
+use chc_model::{ClassId, Schema, Sym};
+use chc_types::{analyze_path, EntityFacts, Hazard, TypeContext, TySet};
+
+use crate::ast::{Pred, Query};
+
+/// How the compiler inserts run-time safety checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// A check before every projection step (the compiler without a type
+    /// theory — E4's naive baseline).
+    Always,
+    /// Checks only at steps the safety analysis flags (the paper's
+    /// optimization).
+    Eliminate,
+    /// No checks at all (unsafe; failures abort rows and are counted).
+    Never,
+}
+
+/// A statically rejected query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// The projected path can never be evaluated: some step's attribute is
+    /// inapplicable to every possible value (§2a's `supervisor` of an
+    /// arbitrary person).
+    PathNeverTyped {
+        /// The first definitely-failing step.
+        step: usize,
+    },
+    /// A filter path is never typed.
+    FilterNeverTyped {
+        /// Index of the offending predicate.
+        pred: usize,
+    },
+    /// A guard contradicts what is already known; the query is vacuous
+    /// (scans and emits nothing, by construction).
+    VacuousQuery {
+        /// Index of the contradicting predicate.
+        pred: usize,
+    },
+}
+
+/// A compiled query.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The scanned class.
+    pub class: ClassId,
+    /// Filters, unchanged from the AST.
+    pub filter: Vec<Pred>,
+    /// The projection path.
+    pub emit: Vec<Sym>,
+    /// Per projection step: must the evaluator insert a run-time check?
+    pub step_checks: Vec<bool>,
+    /// The static type of the projected expression.
+    pub static_type: TySet,
+    /// Compile-time warnings: the hazards that survive (each corresponds
+    /// to an inserted check under [`CheckMode::Eliminate`]).
+    pub warnings: Vec<Hazard>,
+    /// Whether the projected value itself may be absent — consumers that
+    /// require a value must test (or accept skipped rows).
+    pub result_may_be_absent: bool,
+}
+
+impl Plan {
+    /// Number of per-row checks the evaluator will run.
+    pub fn checks_per_row(&self) -> usize {
+        self.step_checks.iter().filter(|&&c| c).count()
+    }
+}
+
+/// Compiles a query, narrowing the iteration variable through its guards
+/// and placing checks per `mode`.
+pub fn compile(
+    ctx: &TypeContext<'_>,
+    query: &Query,
+    mode: CheckMode,
+) -> Result<Plan, TypeError> {
+    let schema: &Schema = ctx.schema;
+    let mut facts = EntityFacts::of_class(schema, query.class);
+
+    // Fold guards into the variable's facts; validate filter paths.
+    for (i, pred) in query.filter.iter().enumerate() {
+        match pred {
+            Pred::InClass(c) => {
+                facts.assume_in(schema, *c);
+                if facts.contradictory() {
+                    return Err(TypeError::VacuousQuery { pred: i });
+                }
+            }
+            Pred::NotInClass(c) => {
+                facts.assume_not_in(schema, *c);
+                if facts.contradictory() {
+                    return Err(TypeError::VacuousQuery { pred: i });
+                }
+            }
+            Pred::PathInClass(path, _) | Pred::TokEq(path, _) | Pred::IntLe(path, _) => {
+                let analysis = analyze_path(ctx, &facts, path);
+                if analysis.result.is_never() {
+                    return Err(TypeError::FilterNeverTyped { pred: i });
+                }
+            }
+        }
+    }
+
+    let analysis = analyze_path(ctx, &facts, &query.emit);
+    if analysis.result.is_never() && !query.emit.is_empty() {
+        let step = analysis.hazards.first().map(|h| h.step()).unwrap_or(0);
+        return Err(TypeError::PathNeverTyped { step });
+    }
+
+    let n = query.emit.len();
+    let step_checks = match mode {
+        CheckMode::Always => vec![true; n],
+        CheckMode::Never => vec![false; n],
+        CheckMode::Eliminate => {
+            let mut checks = vec![false; n];
+            for h in &analysis.hazards {
+                // An absent value manifests at the fetch that *produced*
+                // it (the step before the hazardous dereference); the
+                // other hazards manifest at the flagged step itself.
+                let at = match h {
+                    Hazard::MayBeAbsent { step } => step.saturating_sub(1),
+                    Hazard::MayBeInapplicable { step } | Hazard::ScalarDereference { step } => {
+                        *step
+                    }
+                };
+                if at < n {
+                    checks[at] = true;
+                }
+            }
+            // A maybe-absent *result* needs a final check too: the fetch at
+            // the last step is where the absence surfaces.
+            if analysis.result.may_be_absent() && n > 0 {
+                checks[n - 1] = true;
+            }
+            checks
+        }
+    };
+    let result_may_be_absent = analysis.result.may_be_absent();
+    Ok(Plan {
+        class: query.class,
+        filter: query.filter.clone(),
+        emit: query.emit.clone(),
+        step_checks,
+        static_type: analysis.result,
+        warnings: analysis.hazards,
+        result_may_be_absent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_core::virtualize;
+    use chc_sdl::compile as compile_sdl;
+    use chc_workloads::vignettes::HOSPITAL;
+
+    fn ctx_and_schema() -> chc_core::Virtualized {
+        virtualize(&compile_sdl(HOSPITAL).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn safe_query_needs_no_checks() {
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let patient = s.class_by_name("Patient").unwrap();
+        let q = Query::over(patient).emit(vec![
+            s.sym("treatedAt").unwrap(),
+            s.sym("location").unwrap(),
+            s.sym("city").unwrap(),
+        ]);
+        let plan = compile(&ctx, &q, CheckMode::Eliminate).unwrap();
+        assert_eq!(plan.checks_per_row(), 0);
+        assert!(plan.warnings.is_empty());
+        assert!(!plan.result_may_be_absent);
+    }
+
+    #[test]
+    fn unsafe_query_keeps_only_the_needed_check() {
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let patient = s.class_by_name("Patient").unwrap();
+        let q = Query::over(patient).emit(vec![
+            s.sym("treatedAt").unwrap(),
+            s.sym("location").unwrap(),
+            s.sym("state").unwrap(),
+        ]);
+        let plan = compile(&ctx, &q, CheckMode::Eliminate).unwrap();
+        // The path steps themselves are fine; the hazard is the absent
+        // *result*, guarded by exactly one check at the final fetch.
+        assert!(plan.result_may_be_absent);
+        assert_eq!(plan.checks_per_row(), 1);
+        let naive = compile(&ctx, &q, CheckMode::Always).unwrap();
+        assert_eq!(naive.checks_per_row(), 3);
+    }
+
+    #[test]
+    fn guard_eliminates_the_hazard() {
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let patient = s.class_by_name("Patient").unwrap();
+        let tb = s.class_by_name("Tubercular_Patient").unwrap();
+        let q = Query::over(patient).where_not_in(tb).emit(vec![
+            s.sym("treatedAt").unwrap(),
+            s.sym("location").unwrap(),
+            s.sym("state").unwrap(),
+        ]);
+        let plan = compile(&ctx, &q, CheckMode::Eliminate).unwrap();
+        assert_eq!(plan.checks_per_row(), 0);
+        assert!(!plan.result_may_be_absent);
+    }
+
+    #[test]
+    fn inapplicable_path_is_a_compile_error() {
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let person = s.class_by_name("Person").unwrap();
+        // Persons have no treatedBy: §2a's static type error.
+        let q = Query::over(person).emit(vec![s.sym("treatedBy").unwrap()]);
+        let err = compile(&ctx, &q, CheckMode::Eliminate).unwrap_err();
+        assert_eq!(err, TypeError::PathNeverTyped { step: 0 });
+    }
+
+    #[test]
+    fn narrowing_guard_makes_inapplicable_path_legal() {
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let person = s.class_by_name("Person").unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let q = Query::over(person)
+            .where_in(patient)
+            .emit(vec![s.sym("treatedBy").unwrap()]);
+        assert!(compile(&ctx, &q, CheckMode::Eliminate).is_ok());
+    }
+
+    #[test]
+    fn contradictory_guards_are_vacuous() {
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let q = Query::over(alcoholic)
+            .where_not_in(s.class_by_name("Patient").unwrap())
+            .emit(vec![s.sym("name").unwrap()]);
+        assert_eq!(
+            compile(&ctx, &q, CheckMode::Eliminate).unwrap_err(),
+            TypeError::VacuousQuery { pred: 0 }
+        );
+    }
+
+    #[test]
+    fn alcoholic_branch_types_narrow() {
+        // §5.4's when/else: inside `p in Alcoholic` the treatedBy type is
+        // Psychologist.
+        let v = ctx_and_schema();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let patient = s.class_by_name("Patient").unwrap();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let psychologist = s.class_by_name("Psychologist").unwrap();
+        let physician = s.class_by_name("Physician").unwrap();
+        let q_then = Query::over(patient)
+            .where_in(alcoholic)
+            .emit(vec![s.sym("treatedBy").unwrap()]);
+        let plan = compile(&ctx, &q_then, CheckMode::Eliminate).unwrap();
+        assert!(plan.static_type.all_within_class(psychologist));
+        let q_else = Query::over(patient)
+            .where_not_in(alcoholic)
+            .emit(vec![s.sym("treatedBy").unwrap()]);
+        let plan = compile(&ctx, &q_else, CheckMode::Eliminate).unwrap();
+        assert!(plan.static_type.all_within_class(physician));
+    }
+}

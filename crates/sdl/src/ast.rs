@@ -1,0 +1,71 @@
+//! The abstract syntax of SDL schemas, with names unresolved.
+
+use crate::token::Pos;
+
+/// A parsed schema: a sequence of class definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchemaAst {
+    /// The class definitions in source order.
+    pub classes: Vec<ClassAst>,
+}
+
+/// One `class C is-a S1, S2 with …` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassAst {
+    /// The class name.
+    pub name: String,
+    /// Names of direct superclasses.
+    pub supers: Vec<String>,
+    /// Attribute declarations.
+    pub attrs: Vec<AttrAst>,
+    /// Source position of the `class` keyword.
+    pub pos: Pos,
+}
+
+/// One attribute declaration `p : R excuses p on C; …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrAst {
+    /// The attribute name.
+    pub name: String,
+    /// Its range.
+    pub range: RangeAst,
+    /// Excuse clauses attached to the declaration.
+    pub excuses: Vec<ExcuseAst>,
+    /// Source position of the attribute name.
+    pub pos: Pos,
+}
+
+/// An `excuses p on C` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcuseAst {
+    /// The excused attribute's name.
+    pub attr: String,
+    /// The class carrying the excused constraint.
+    pub on: String,
+    /// Source position of the `excuses` keyword.
+    pub pos: Pos,
+}
+
+/// A parsed range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeAst {
+    /// `16..65`
+    Int(i64, i64),
+    /// `String`
+    Str,
+    /// `Integer` — the unbounded integer type of §5.4's
+    /// `[salary : Integer + None / Temporary_Employee]`.
+    Integer,
+    /// `{'Hawk, 'Dove}`
+    Enum(Vec<String>),
+    /// `None` — the attribute is inapplicable.
+    None,
+    /// `AnyEntity` — the entity top of §5.5.
+    AnyEntity,
+    /// A class reference such as `Physician`.
+    Named(String),
+    /// A refined class such as `Physician [certifiedBy : {'ABO}]`.
+    Refined(String, Vec<AttrAst>),
+    /// An anonymous in-line record such as `[street: String; city: String]`.
+    Record(Vec<AttrAst>),
+}

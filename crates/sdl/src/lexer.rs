@@ -1,0 +1,267 @@
+//! The SDL lexer.
+//!
+//! Comments run from `--` to end of line (the paper's prose style) and
+//! `//` is accepted as a synonym. Identifiers may contain letters, digits,
+//! `_`, `#` (the paper writes `room#`), and an embedded `-` when followed
+//! by a letter (so `is-a` lexes as one word, later promoted to a keyword).
+
+use crate::error::SdlError;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Lexes an entire source text into tokens (ending with [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SdlError> {
+    Lexer { src: src.as_bytes(), at: 0, pos: Pos::START }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+    pos: Pos,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Result<Vec<Spanned>, SdlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let pos = self.pos;
+            let Some(&c) = self.src.get(self.at) else {
+                out.push(Spanned { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = match c {
+                b':' => self.one(Tok::Colon),
+                b';' => self.one(Tok::Semi),
+                b',' => self.one(Tok::Comma),
+                b'{' => self.one(Tok::LBrace),
+                b'}' => self.one(Tok::RBrace),
+                b'[' => self.one(Tok::LBracket),
+                b']' => self.one(Tok::RBracket),
+                b'.' => {
+                    if self.src.get(self.at + 1) == Some(&b'.') {
+                        self.advance();
+                        self.advance();
+                        Tok::DotDot
+                    } else {
+                        return Err(SdlError::Lex { pos, what: "stray `.` (did you mean `..`?)".into() });
+                    }
+                }
+                b'\'' => {
+                    self.advance();
+                    let word = self.take_word();
+                    if word.is_empty() {
+                        return Err(SdlError::Lex { pos, what: "empty enumeration token after `'`".into() });
+                    }
+                    Tok::Quoted(word)
+                }
+                b'-' if self.src.get(self.at + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.advance();
+                    let n = self.take_int(pos)?;
+                    Tok::Int(-n)
+                }
+                c if c.is_ascii_digit() => Tok::Int(self.take_int(pos)?),
+                c if ident_start(c) => {
+                    let word = self.take_word();
+                    match word.as_str() {
+                        "class" => Tok::KwClass,
+                        "with" => Tok::KwWith,
+                        "excuses" => Tok::KwExcuses,
+                        "on" => Tok::KwOn,
+                        "is-a" | "is_a" | "isa" => Tok::KwIsA,
+                        // "is" followed by "a" is the paper's spaced spelling.
+                        "is" => {
+                            self.skip_trivia();
+                            let save = (self.at, self.pos);
+                            let next = self.take_word();
+                            if next == "a" {
+                                Tok::KwIsA
+                            } else {
+                                (self.at, self.pos) = save;
+                                Tok::Ident("is".into())
+                            }
+                        }
+                        _ => Tok::Ident(word),
+                    }
+                }
+                other => {
+                    return Err(SdlError::Lex {
+                        pos,
+                        what: format!("unexpected character `{}`", other as char),
+                    })
+                }
+            };
+            out.push(Spanned { tok, pos });
+        }
+    }
+
+    fn one(&mut self, tok: Tok) -> Tok {
+        self.advance();
+        tok
+    }
+
+    fn advance(&mut self) {
+        if self.src[self.at] == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        self.at += 1;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.src.get(self.at) {
+                Some(c) if c.is_ascii_whitespace() => self.advance(),
+                Some(b'-') if self.src.get(self.at + 1) == Some(&b'-') => self.skip_line(),
+                Some(b'/') if self.src.get(self.at + 1) == Some(&b'/') => self.skip_line(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(&c) = self.src.get(self.at) {
+            self.advance();
+            if c == b'\n' {
+                return;
+            }
+        }
+    }
+
+    fn take_word(&mut self) -> String {
+        let start = self.at;
+        while let Some(&c) = self.src.get(self.at) {
+            if ident_continue(c) {
+                self.advance();
+            } else if c == b'-' && self.src.get(self.at + 1).is_some_and(|&d| d.is_ascii_alphabetic())
+            {
+                self.advance();
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.at]).into_owned()
+    }
+
+    fn take_int(&mut self, pos: Pos) -> Result<i64, SdlError> {
+        let start = self.at;
+        while self.src.get(self.at).is_some_and(|d| d.is_ascii_digit()) {
+            self.advance();
+        }
+        std::str::from_utf8(&self.src[start..self.at])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| SdlError::Lex { pos, what: "integer literal overflows i64".into() })
+    }
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'#'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("class Employee is-a Person with"),
+            vec![
+                Tok::KwClass,
+                Tok::Ident("Employee".into()),
+                Tok::KwIsA,
+                Tok::Ident("Person".into()),
+                Tok::KwWith,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spaced_is_a() {
+        assert_eq!(
+            toks("Patient is a Person"),
+            vec![Tok::Ident("Patient".into()), Tok::KwIsA, Tok::Ident("Person".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn is_not_followed_by_a_stays_ident() {
+        assert_eq!(
+            toks("is b"),
+            vec![Tok::Ident("is".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn ranges_and_enums() {
+        assert_eq!(
+            toks("age: 16..65; state: {'AL, 'WV}"),
+            vec![
+                Tok::Ident("age".into()),
+                Tok::Colon,
+                Tok::Int(16),
+                Tok::DotDot,
+                Tok::Int(65),
+                Tok::Semi,
+                Tok::Ident("state".into()),
+                Tok::Colon,
+                Tok::LBrace,
+                Tok::Quoted("AL".into()),
+                Tok::Comma,
+                Tok::Quoted("WV".into()),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_ints() {
+        assert_eq!(toks("-40..120"), vec![Tok::Int(-40), Tok::DotDot, Tok::Int(120), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("class A -- the A class\nclass B // another\n"),
+            vec![
+                Tok::KwClass,
+                Tok::Ident("A".into()),
+                Tok::KwClass,
+                Tok::Ident("B".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_in_identifier() {
+        assert_eq!(toks("room#"), vec![Tok::Ident("room#".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spans = lex("class\n  Foo").unwrap();
+        assert_eq!(spans[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spans[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(matches!(lex("class ?"), Err(SdlError::Lex { .. })));
+        assert!(matches!(lex("x: 1 . 2"), Err(SdlError::Lex { .. })));
+        assert!(matches!(lex("' "), Err(SdlError::Lex { .. })));
+    }
+}

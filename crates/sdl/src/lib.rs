@@ -1,0 +1,35 @@
+//! # chc-sdl — the schema definition language
+//!
+//! A lexer, parser, pretty-printer, and resolver for the notation used
+//! throughout the paper:
+//!
+//! ```text
+//! class Employee is-a Person with
+//!     age : 16..65;
+//!     supervisor : Employee;
+//!
+//! class Alcoholic is-a Patient with
+//!     treatedBy : Psychologist excuses treatedBy on Patient;
+//! ```
+//!
+//! The one-call entry point is [`compile`], which takes SDL source text to
+//! a [`chc_model::Schema`]. Note that `compile` performs only *structural*
+//! checks; run `chc_core`'s checker on the result to enforce the paper's
+//! specialization-or-excuse rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod resolve;
+pub mod token;
+
+pub use error::SdlError;
+pub use parser::parse;
+pub use printer::{print_class, print_schema};
+pub use resolve::{compile, lower};

@@ -1,0 +1,221 @@
+//! Lowering parsed ASTs into `chc_model::Schema`s.
+//!
+//! Resolution is two-pass so classes may be referenced before their
+//! definition appears (the paper freely forward-references `Employee`
+//! inside its own definition, and `Hospital` before defining it).
+
+use chc_model::{AttrSpec, ClassId, FieldSpec, Range, Schema, SchemaBuilder, Sym};
+
+use crate::ast::{AttrAst, RangeAst, SchemaAst};
+use crate::error::SdlError;
+use crate::parser::parse;
+use crate::token::Pos;
+
+/// Parses and lowers SDL source text into a checked-for-structure schema.
+///
+/// ```
+/// let schema = chc_sdl::compile("
+///     class Person with age: 1..120;
+///     class Employee is-a Person with age: 16..65;
+/// ").unwrap();
+/// let employee = schema.class_by_name("Employee").unwrap();
+/// let person = schema.class_by_name("Person").unwrap();
+/// assert!(schema.is_strict_subclass(employee, person));
+/// ```
+pub fn compile(src: &str) -> Result<Schema, SdlError> {
+    lower(&parse(src)?)
+}
+
+/// Lowers an already-parsed AST.
+pub fn lower(ast: &SchemaAst) -> Result<Schema, SdlError> {
+    let mut b = SchemaBuilder::new();
+    // Pass 1: declare every class name.
+    for class in &ast.classes {
+        b.declare(&class.name)?;
+    }
+    // Pass 2: supers and attributes.
+    for class in &ast.classes {
+        let id = b.class_id(&class.name).expect("declared in pass 1");
+        for sup in &class.supers {
+            let sup_id = resolve_class(&b, sup, class.pos)?;
+            b.add_super(id, sup_id)?;
+        }
+        for attr in &class.attrs {
+            let spec = lower_attr_spec(&mut b, attr)?;
+            b.add_attr(id, &attr.name, spec)?;
+        }
+    }
+    Ok(b.build()?)
+}
+
+fn resolve_class(b: &SchemaBuilder, name: &str, pos: Pos) -> Result<ClassId, SdlError> {
+    b.class_id(name)
+        .ok_or_else(|| SdlError::UnknownClass { pos, name: name.to_string() })
+}
+
+fn lower_attr_spec(b: &mut SchemaBuilder, attr: &AttrAst) -> Result<AttrSpec, SdlError> {
+    let range = lower_range(b, &attr.range, attr.pos)?;
+    let mut spec = AttrSpec::plain(range);
+    for exc in &attr.excuses {
+        let on = resolve_class(b, &exc.on, exc.pos)?;
+        let attr_sym = b.intern(&exc.attr);
+        spec = spec.excusing(attr_sym, on);
+    }
+    Ok(spec)
+}
+
+fn lower_range(b: &mut SchemaBuilder, range: &RangeAst, pos: Pos) -> Result<Range, SdlError> {
+    Ok(match range {
+        RangeAst::Int(lo, hi) => Range::int(*lo, *hi)?,
+        RangeAst::Str => Range::Str,
+        RangeAst::Integer => Range::Int { lo: i64::MIN, hi: i64::MAX },
+        RangeAst::None => Range::None,
+        RangeAst::AnyEntity => Range::AnyEntity,
+        RangeAst::Enum(toks) => {
+            let syms: Vec<Sym> = toks.iter().map(|t| b.intern(t)).collect();
+            Range::enumeration(syms)?
+        }
+        RangeAst::Named(name) => Range::Class(resolve_class(b, name, pos)?),
+        RangeAst::Refined(name, fields) => {
+            let base = resolve_class(b, name, pos)?;
+            lower_record(b, Some(base), fields)?
+        }
+        RangeAst::Record(fields) => lower_record(b, None, fields)?,
+    })
+}
+
+fn lower_record(
+    b: &mut SchemaBuilder,
+    base: Option<ClassId>,
+    fields: &[AttrAst],
+) -> Result<Range, SdlError> {
+    let mut specs = Vec::with_capacity(fields.len());
+    let mut names: Vec<(Sym, String)> = Vec::with_capacity(fields.len());
+    for f in fields {
+        let name = b.intern(&f.name);
+        names.push((name, f.name.clone()));
+        let spec = lower_attr_spec(b, f)?;
+        specs.push(FieldSpec { name, spec });
+    }
+    let resolve = move |s: Sym| {
+        names
+            .iter()
+            .find(|(sym, _)| *sym == s)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("{s:?}"))
+    };
+    Ok(Range::record(&resolve, base, specs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_model::ModelError;
+
+    #[test]
+    fn lowers_paper_schema() {
+        let schema = compile(
+            "
+            class Address with
+                street: String; city: String; state: {'AL, 'WV};
+            class Person with
+                name: String; age: 1..120; home: Address;
+            class Employee is-a Person with
+                age: 16..65; supervisor: Employee; office: Address;
+            ",
+        )
+        .unwrap();
+        let person = schema.class_by_name("Person").unwrap();
+        let employee = schema.class_by_name("Employee").unwrap();
+        assert!(schema.is_strict_subclass(employee, person));
+        let age = schema.sym("age").unwrap();
+        assert_eq!(schema.constraints_on(employee, age).len(), 2);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let schema = compile(
+            "
+            class Patient is-a Person with treatedAt: Hospital;
+            class Person;
+            class Hospital;
+            ",
+        )
+        .unwrap();
+        assert!(schema.class_by_name("Hospital").is_some());
+    }
+
+    #[test]
+    fn unknown_class_reported_with_position() {
+        let err = compile("class A with x: Nowhere").unwrap_err();
+        assert!(matches!(err, SdlError::UnknownClass { ref name, .. } if name == "Nowhere"));
+    }
+
+    #[test]
+    fn excuses_land_in_the_index() {
+        let schema = compile(
+            "
+            class Physician;
+            class Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            ",
+        )
+        .unwrap();
+        let patient = schema.class_by_name("Patient").unwrap();
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+        let entries = schema.excusers_of(patient, treated_by);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].excuser, alcoholic);
+    }
+
+    #[test]
+    fn nested_excuses_lower_into_field_specs() {
+        let schema = compile(
+            "
+            class Address with state: {'NJ}; country: {'USA};
+            class Hospital with accreditation: {'Local}; location: Address;
+            class Patient with treatedAt: Hospital;
+            class Tubercular_Patient is-a Patient with
+                treatedAt: Hospital [
+                    accreditation: None excuses accreditation on Hospital;
+                    location: Address [
+                        state: None excuses state on Address;
+                        country: {'Switzerland}
+                    ]
+                ];
+            ",
+        )
+        .unwrap();
+        let tb = schema.class_by_name("Tubercular_Patient").unwrap();
+        let treated_at = schema.sym("treatedAt").unwrap();
+        let decl = schema.declared_attr(tb, treated_at).unwrap();
+        let Range::Record { base: Some(base), fields } = &decl.spec.range else {
+            panic!("expected refined record range");
+        };
+        assert_eq!(*base, schema.class_by_name("Hospital").unwrap());
+        assert_eq!(fields.len(), 2);
+        let acc = &fields[0];
+        assert_eq!(acc.spec.excuses.len(), 1);
+        assert_eq!(acc.spec.excuses[0].on, schema.class_by_name("Hospital").unwrap());
+    }
+
+    #[test]
+    fn model_errors_pass_through() {
+        let err = compile("class A; class A").unwrap_err();
+        assert_eq!(err, SdlError::Model(ModelError::DuplicateClass("A".into())));
+        let err = compile("class A is-a B; class B is-a A").unwrap_err();
+        assert!(matches!(err, SdlError::Model(ModelError::IsACycle(_))));
+    }
+
+    #[test]
+    fn integer_keyword_is_unbounded() {
+        let schema = compile("class T with salary: Integer").unwrap();
+        let t = schema.class_by_name("T").unwrap();
+        let salary = schema.sym("salary").unwrap();
+        let decl = schema.declared_attr(t, salary).unwrap();
+        assert_eq!(decl.spec.range, Range::Int { lo: i64::MIN, hi: i64::MAX });
+    }
+}

@@ -1,0 +1,79 @@
+//! Parser robustness: arbitrary input must never panic, and valid input
+//! must survive mutation testing of the error paths.
+
+use chc_sdl::{compile, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer+parser must return Ok or Err — never panic — on
+    /// arbitrary byte soup.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Same for inputs biased toward the SDL alphabet.
+    #[test]
+    fn parser_never_panics_on_sdl_like_input(
+        src in "(class|is-a|with|excuses|on|[A-Za-z_][A-Za-z0-9_]*|[0-9]{1,5}|'[A-Za-z]+|[.;:,{}\\[\\]]| |\n){0,80}"
+    ) {
+        let _ = compile(&src);
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_schema_never_panic() {
+    let src = "
+        class Address with street: String; state: {'NJ, 'NY};
+        class Patient with treatedAt: Address [state: None excuses state on Address];
+    ";
+    for cut in 0..src.len() {
+        if src.is_char_boundary(cut) {
+            let _ = compile(&src[..cut]);
+        }
+    }
+}
+
+#[test]
+fn error_positions_are_within_the_input() {
+    let cases = [
+        "class A with x: ?",
+        "class A with x: 1..",
+        "class\nB\nwith\nx\n:\n{'a",
+        "class A is-a",
+    ];
+    for src in cases {
+        match compile(src) {
+            Ok(_) => {}
+            Err(chc_sdl::SdlError::Parse { pos, .. })
+            | Err(chc_sdl::SdlError::Lex { pos, .. })
+            | Err(chc_sdl::SdlError::UnknownClass { pos, .. }) => {
+                let lines = src.lines().count().max(1) as u32;
+                assert!(pos.line >= 1 && pos.line <= lines + 1, "{src}: {pos}");
+            }
+            Err(chc_sdl::SdlError::Model(_)) => {}
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_records_parse() {
+    // 24 levels of anonymous record nesting.
+    let mut src = String::from("class A with x: ");
+    for _ in 0..24 {
+        src.push_str("[y: ");
+    }
+    src.push_str("1..2");
+    for _ in 0..24 {
+        src.push(']');
+    }
+    assert!(compile(&src).is_ok());
+}
+
+#[test]
+fn comments_to_end_of_input_are_fine() {
+    assert!(compile("class A -- trailing comment with no newline").is_ok());
+    assert!(compile("// nothing but a comment").is_ok());
+}

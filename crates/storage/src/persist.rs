@@ -1,0 +1,278 @@
+//! Disk persistence for partitioned stores.
+//!
+//! §5.5's fragments are "logical files"; this module makes them physical.
+//! Layout on disk:
+//!
+//! ```text
+//! <dir>/manifest.chc      fragment count + per-fragment signature (class names)
+//! <dir>/frag_<i>.chc      record format (attr names + kinds) and rows
+//! ```
+//!
+//! Attribute and class names are stored as strings, not symbol indexes,
+//! so a store written under one schema loads under any schema that still
+//! defines the same names — symbol ids are re-resolved at load time.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use chc_model::{ClassId, Oid, Schema};
+
+use crate::engine::PartitionedStore;
+use crate::fragment::Fragment;
+use crate::record::{FieldKind, RecordFormat};
+
+/// A persistence failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid store image.
+    Corrupt(String),
+    /// A stored name does not resolve in the loading schema.
+    UnknownName(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt store image: {what}"),
+            PersistError::UnknownName(n) => {
+                write!(f, "stored name `{n}` does not exist in the loading schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const MAGIC: &[u8; 8] = b"CHCSTOR1";
+
+fn kind_code(kind: FieldKind) -> u8 {
+    match kind {
+        FieldKind::Int => 0,
+        FieldKind::Tok => 1,
+        FieldKind::Str => 2,
+        FieldKind::Surrogate => 3,
+        FieldKind::Tuple => 4,
+        FieldKind::Missing => 5,
+    }
+}
+
+fn kind_from(code: u8) -> Result<FieldKind, PersistError> {
+    Ok(match code {
+        0 => FieldKind::Int,
+        1 => FieldKind::Tok,
+        2 => FieldKind::Str,
+        3 => FieldKind::Surrogate,
+        4 => FieldKind::Tuple,
+        5 => FieldKind::Missing,
+        other => return Err(PersistError::Corrupt(format!("bad kind byte {other}"))),
+    })
+}
+
+fn write_str(out: &mut impl Write, s: &str) -> io::Result<()> {
+    out.write_all(&(s.len() as u32).to_le_bytes())?;
+    out.write_all(s.as_bytes())
+}
+
+fn read_str(inp: &mut impl Read) -> Result<String, PersistError> {
+    let mut len = [0u8; 4];
+    inp.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    inp.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| PersistError::Corrupt("non-utf8 name".into()))
+}
+
+impl PartitionedStore {
+    /// Writes the store to a directory (created if absent).
+    pub fn save_to_dir(&self, schema: &Schema, dir: &Path) -> Result<(), PersistError> {
+        fs::create_dir_all(dir)?;
+        let mut manifest = Vec::new();
+        manifest.extend_from_slice(MAGIC);
+        manifest.extend_from_slice(&(self.fragments_for_persist().len() as u32).to_le_bytes());
+        manifest.extend_from_slice(&(self.exceptional.len() as u32).to_le_bytes());
+        for &c in &self.exceptional {
+            write_str(&mut manifest, schema.class_name(c))?;
+        }
+        for (i, (signature, frag)) in self.fragments_for_persist().iter().enumerate() {
+            manifest.extend_from_slice(&(signature.len() as u32).to_le_bytes());
+            for &c in signature {
+                write_str(&mut manifest, schema.class_name(c))?;
+            }
+            let mut file = Vec::new();
+            file.extend_from_slice(MAGIC);
+            file.extend_from_slice(&(frag.format.fields.len() as u32).to_le_bytes());
+            for &(attr, kind) in &frag.format.fields {
+                write_str(&mut file, schema.resolve(attr))?;
+                file.push(kind_code(kind));
+            }
+            file.extend_from_slice(&(frag.len() as u32).to_le_bytes());
+            for (oid, row) in frag.scan(chc_model::Sym::from_raw) {
+                let row = row.map_err(|e| PersistError::Corrupt(e.to_string()))?;
+                file.extend_from_slice(&oid.raw().to_le_bytes());
+                let mut bytes = Vec::new();
+                crate::codec::encode_variant(&row, &mut bytes);
+                file.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                file.extend_from_slice(&bytes);
+            }
+            fs::write(dir.join(format!("frag_{i}.chc")), file)?;
+        }
+        fs::write(dir.join("manifest.chc"), manifest)?;
+        Ok(())
+    }
+
+    /// Loads a store from a directory, re-resolving names against `schema`.
+    pub fn load_from_dir(schema: &Schema, dir: &Path) -> Result<PartitionedStore, PersistError> {
+        let manifest = fs::read(dir.join("manifest.chc"))?;
+        let mut m = manifest.as_slice();
+        let mut magic = [0u8; 8];
+        m.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::Corrupt("bad magic".into()));
+        }
+        let n_frags = read_u32(&mut m)? as usize;
+        let n_exc = read_u32(&mut m)? as usize;
+        let mut exceptional = Vec::with_capacity(n_exc);
+        for _ in 0..n_exc {
+            exceptional.push(resolve_class(schema, &read_str(&mut m)?)?);
+        }
+        let mut store = PartitionedStore::empty(exceptional);
+        for i in 0..n_frags {
+            let n_sig = read_u32(&mut m)? as usize;
+            let mut signature = Vec::with_capacity(n_sig);
+            for _ in 0..n_sig {
+                signature.push(resolve_class(schema, &read_str(&mut m)?)?);
+            }
+            let file = fs::read(dir.join(format!("frag_{i}.chc")))?;
+            let mut f = file.as_slice();
+            let mut magic = [0u8; 8];
+            f.read_exact(&mut magic)?;
+            if &magic != MAGIC {
+                return Err(PersistError::Corrupt(format!("bad magic in frag_{i}")));
+            }
+            let n_fields = read_u32(&mut f)? as usize;
+            let mut fields = Vec::with_capacity(n_fields);
+            for _ in 0..n_fields {
+                let name = read_str(&mut f)?;
+                let sym = schema.sym(&name).ok_or(PersistError::UnknownName(name))?;
+                let mut code = [0u8; 1];
+                f.read_exact(&mut code)?;
+                fields.push((sym, kind_from(code[0])?));
+            }
+            fields.sort_by_key(|(a, _)| *a);
+            let mut frag = Fragment::new(RecordFormat { fields });
+            let n_rows = read_u32(&mut f)? as usize;
+            for _ in 0..n_rows {
+                let mut oid = [0u8; 8];
+                f.read_exact(&mut oid)?;
+                let oid = Oid::from_raw(u64::from_le_bytes(oid));
+                let len = read_u32(&mut f)? as usize;
+                let mut bytes = vec![0u8; len];
+                f.read_exact(&mut bytes)?;
+                let row = crate::codec::decode_variant(&bytes, chc_model::Sym::from_raw)
+                    .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+                frag.insert(oid, |attr| {
+                    row.iter().find(|(a, _)| *a == attr).map(|(_, v)| v.clone())
+                })
+                .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+            }
+            store.push_fragment(signature, frag);
+        }
+        Ok(store)
+    }
+}
+
+fn read_u32(inp: &mut impl Read) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    inp.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn resolve_class(schema: &Schema, name: &str) -> Result<ClassId, PersistError> {
+    schema
+        .class_by_name(name)
+        .ok_or_else(|| PersistError::UnknownName(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_workloads::{build_hospital, HospitalParams};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("chc-persist-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let db = build_hospital(&HospitalParams {
+            patients: 150,
+            tubercular_fraction: 0.1,
+            alcoholic_fraction: 0.1,
+            ..Default::default()
+        });
+        let s = &db.virtualized.schema;
+        let exceptional = [db.ids.tubercular, db.ids.alcoholic];
+        let part = PartitionedStore::build(s, &db.store, db.ids.patient, &exceptional).unwrap();
+        let dir = tmpdir("roundtrip");
+        part.save_to_dir(s, &dir).unwrap();
+        let loaded = PartitionedStore::load_from_dir(s, &dir).unwrap();
+        assert_eq!(loaded.num_fragments(), part.num_fragments());
+        for &p in &db.patients {
+            for attr in [db.ids.name, db.ids.age, db.ids.treated_by] {
+                assert_eq!(
+                    loaded.fetch_directory(p, attr).value,
+                    part.fetch_directory(p, attr).value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let db = build_hospital(&HospitalParams { patients: 10, ..Default::default() });
+        let s = &db.virtualized.schema;
+        let part = PartitionedStore::build(s, &db.store, db.ids.patient, &[]).unwrap();
+        let dir = tmpdir("corrupt");
+        part.save_to_dir(s, &dir).unwrap();
+        fs::write(dir.join("manifest.chc"), b"NOTMAGIC").unwrap();
+        assert!(matches!(
+            PartitionedStore::load_from_dir(s, &dir),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn loading_under_a_different_schema_fails_on_unknown_names() {
+        let db = build_hospital(&HospitalParams { patients: 10, ..Default::default() });
+        let s = &db.virtualized.schema;
+        let part =
+            PartitionedStore::build(s, &db.store, db.ids.patient, &[db.ids.tubercular]).unwrap();
+        let dir = tmpdir("wrong-schema");
+        part.save_to_dir(s, &dir).unwrap();
+        let other = chc_sdl::compile("class Lonely;").unwrap();
+        assert!(matches!(
+            PartitionedStore::load_from_dir(&other, &dir),
+            Err(PersistError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        let s = chc_sdl::compile("class A;").unwrap();
+        assert!(matches!(
+            PartitionedStore::load_from_dir(&s, Path::new("/nonexistent/chc")),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! Storage round-trip and edge-case tests across modules.
+
+use chc_model::{Oid, Value};
+use chc_sdl::compile;
+use chc_storage::{PartitionedStore, RecordFormat, VariantStore};
+use chc_workloads::{build_hospital, HospitalParams};
+use proptest::prelude::*;
+
+#[test]
+fn unicode_strings_round_trip() {
+    let schema = compile("class Person with name: String;").unwrap();
+    let person = schema.class_by_name("Person").unwrap();
+    let name = schema.sym("name").unwrap();
+    let mut store = chc_extent::ExtentStore::new(&schema);
+    let names = ["Zürich–Straße 🏥", "", "Ω≠∅", "tab\tnewline\n"];
+    let mut oids = Vec::new();
+    for n in names {
+        let o = store.create(&schema, &[person]);
+        store.set_attr(o, name, Value::str(n));
+        oids.push(o);
+    }
+    let part = PartitionedStore::build(&schema, &store, person, &[]).unwrap();
+    let variant = VariantStore::build(&schema, &store, person);
+    for (o, n) in oids.iter().zip(names) {
+        assert_eq!(part.fetch_directory(*o, name).value, Some(Value::str(n)));
+        assert_eq!(variant.fetch(*o, name).value, Some(Value::str(n)));
+    }
+}
+
+#[test]
+fn record_valued_attributes_round_trip() {
+    let schema = compile(
+        "class Person with home: [street: String; zip: 10000..99999];",
+    )
+    .unwrap();
+    let person = schema.class_by_name("Person").unwrap();
+    let home = schema.sym("home").unwrap();
+    let street = schema.sym("street").unwrap();
+    let zip = schema.sym("zip").unwrap();
+    let mut store = chc_extent::ExtentStore::new(&schema);
+    let o = store.create(&schema, &[person]);
+    let value = Value::record(vec![
+        (street, Value::str("Main St")),
+        (zip, Value::Int(12345)),
+    ]);
+    store.set_attr(o, home, value.clone());
+    let part = PartitionedStore::build(&schema, &store, person, &[]).unwrap();
+    assert_eq!(part.fetch_directory(o, home).value, Some(value.clone()));
+    let variant = VariantStore::build(&schema, &store, person);
+    assert_eq!(variant.fetch(o, home).value, Some(value));
+}
+
+#[test]
+fn empty_store_builds_empty_layouts() {
+    let schema = compile("class Person with name: String;").unwrap();
+    let person = schema.class_by_name("Person").unwrap();
+    let store = chc_extent::ExtentStore::new(&schema);
+    let part = PartitionedStore::build(&schema, &store, person, &[]).unwrap();
+    assert_eq!(part.num_fragments(), 0);
+    assert_eq!(part.byte_len(), 0);
+    let name = schema.sym("name").unwrap();
+    assert_eq!(part.fetch_scan(Oid::from_raw(0), name).value, None);
+}
+
+#[test]
+fn formats_are_deterministic() {
+    let schema = compile(
+        "
+        class Person with name: String; age: 1..120;
+        class Patient is-a Person with acuity: {'Low, 'High};
+        ",
+    )
+    .unwrap();
+    let patient = schema.class_by_name("Patient").unwrap();
+    let f1 = RecordFormat::for_classes(&schema, &[patient]);
+    let f2 = RecordFormat::for_classes(&schema, &[patient]);
+    assert_eq!(f1, f2);
+    assert!(f1.compatible_with(&f2));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Partitioned and variant layouts agree with the live store on every
+    /// attribute of every patient, across random mixes.
+    #[test]
+    fn layouts_agree_with_store(seed in 0u64..50, eps in 0.0f64..0.4) {
+        let db = build_hospital(&HospitalParams {
+            patients: 120,
+            tubercular_fraction: eps,
+            alcoholic_fraction: eps / 2.0,
+            ambulatory_fraction: eps / 2.0,
+            seed,
+            ..Default::default()
+        });
+        let s = &db.virtualized.schema;
+        let exceptional = [db.ids.tubercular, db.ids.alcoholic, db.ids.ambulatory];
+        let part = PartitionedStore::build(s, &db.store, db.ids.patient, &exceptional).unwrap();
+        let variant = VariantStore::build(s, &db.store, db.ids.patient);
+        for &p in &db.patients {
+            for attr in [db.ids.name, db.ids.age, db.ids.treated_by, db.ids.treated_at, db.ids.ward] {
+                let expect = db.store.get_attr(p, attr).cloned();
+                prop_assert_eq!(part.fetch_directory(p, attr).value, expect.clone());
+                prop_assert_eq!(part.fetch_scan(p, attr).value, expect.clone());
+                prop_assert_eq!(variant.fetch(p, attr).value, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The typing context: effective attribute types with excuse arms.
+//!
+//! §5.4 extends the type system with *conditional types*
+//! `[p : T0 + T1/E1 + …]` whose denotation is "the set of objects z such
+//! that z.p belongs to T0, or z belongs to E1 and z.p belongs to T1, or
+//! …". [`TypeContext::attr_type`] computes, for an entity with given
+//! membership facts, the set of values its attribute `p` can possibly
+//! take: the intersection over every applicable constraint `(B, p, R)` of
+//! `R` plus the ranges of excusers not yet ruled out.
+
+use std::collections::HashMap;
+
+use chc_core::Virtualized;
+use chc_model::{ClassId, Schema, Sym};
+
+use crate::facts::EntityFacts;
+use crate::tyset::TySet;
+
+/// A typing context over a schema, optionally aware of the virtual classes
+/// synthesized for embedded excuses (§5.6) so that negative membership in
+/// a root class propagates down attribute paths.
+pub struct TypeContext<'s> {
+    /// The schema being typed against.
+    pub schema: &'s Schema,
+    /// virtual class → (parent class whose attribute values form its
+    /// extent, the attribute segment).
+    vparent: HashMap<ClassId, (ClassId, Sym)>,
+}
+
+impl<'s> TypeContext<'s> {
+    /// A context with no virtual-class knowledge.
+    pub fn new(schema: &'s Schema) -> Self {
+        TypeContext { schema, vparent: HashMap::new() }
+    }
+
+    /// A context over a virtualized schema. The virtual-extent rule of
+    /// §5.6 ("the extent of H1 \[is\] exactly those objects which are the
+    /// values of treatedAt attributes for some Tubercular_Patient") is
+    /// what justifies propagating `x ∉ Tubercular_Patient` to
+    /// `x.treatedAt ∉ H1`.
+    pub fn with_virtuals(v: &'s Virtualized) -> Self {
+        let mut vparent = HashMap::new();
+        for info in &v.virtuals {
+            let parent = if info.path.len() == 1 {
+                Some(info.root)
+            } else {
+                // The parent is the virtual class one path segment up, if
+                // the nesting created one (it does for class-refinement
+                // nesting; anonymous-record nesting has no parent class).
+                v.virtuals
+                    .iter()
+                    .find(|p| p.root == info.root && p.path == info.path[..info.path.len() - 1])
+                    .map(|p| p.class)
+            };
+            if let Some(parent) = parent {
+                vparent.insert(info.class, (parent, *info.path.last().expect("nonempty path")));
+            }
+        }
+        TypeContext { schema: &v.schema, vparent }
+    }
+
+    /// The possible type of `x.attr` for an entity `x` with the given
+    /// facts. Returns `None` when no class `x` is known to belong to
+    /// declares (or inherits) `attr` — the §2a type error of "evaluat\[ing\]
+    /// the supervisor of an arbitrary person".
+    ///
+    /// ```
+    /// use chc_types::{EntityFacts, TypeContext};
+    /// let schema = chc_sdl::compile("
+    ///     class Physician;
+    ///     class Psychologist;
+    ///     class Patient with treatedBy: Physician;
+    ///     class Alcoholic is-a Patient with
+    ///         treatedBy: Psychologist excuses treatedBy on Patient;
+    /// ").unwrap();
+    /// let ctx = TypeContext::new(&schema);
+    /// let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+    /// let psychologist = schema.class_by_name("Psychologist").unwrap();
+    /// let treated_by = schema.sym("treatedBy").unwrap();
+    /// // §5.4's (*) branch: an alcoholic's treatedBy is a Psychologist.
+    /// let facts = EntityFacts::of_class(&schema, alcoholic);
+    /// let ty = ctx.attr_type(&facts, treated_by).unwrap();
+    /// assert!(ty.all_within_class(psychologist));
+    /// ```
+    pub fn attr_type(&self, facts: &EntityFacts, attr: Sym) -> Option<TySet> {
+        let schema = self.schema;
+        let mut result: Option<TySet> = None;
+        // Iterate the declarer index (usually short) rather than every
+        // positive class (possibly the whole ancestor closure).
+        for &class in schema.declarers_of(attr) {
+            if !facts.known_in(class) {
+                continue;
+            }
+            let decl = schema.declared_attr(class, attr).expect("declarer");
+            // allowed = R ∪ ⋃ { S_E : E excuses (class, attr), x ∉ E not known }
+            let mut allowed = TySet::from_range(schema, &decl.spec.range);
+            for entry in schema.excusers_of(class, attr) {
+                if facts.known_not_in(entry.excuser) {
+                    continue;
+                }
+                allowed = allowed
+                    .union(TySet::from_range(schema, &schema.excuser_spec(entry).range));
+            }
+            result = Some(match result {
+                None => allowed,
+                Some(acc) => acc.intersect(schema, &allowed),
+            });
+        }
+        let mut result = result?;
+        // Virtual-extent propagation: x ∉ parent ⇒ x.attr ∉ virtual.
+        for (&vclass, &(parent, segment)) in &self.vparent {
+            if segment == attr && facts.known_not_in(parent) {
+                result = result.narrow_away_from_class(schema, vclass);
+            }
+        }
+        Some(result)
+    }
+
+    /// Whether `attr` is applicable to an entity with these facts.
+    pub fn attr_applicable(&self, facts: &EntityFacts, attr: Sym) -> bool {
+        self.schema
+            .declarers_of(attr)
+            .iter()
+            .any(|&c| facts.known_in(c))
+    }
+
+    /// Precomputes the effective type of every `(class, attribute)` pair —
+    /// the schema-compile-time work that makes per-lookup resolution O(1),
+    /// independent of hierarchy topology (§5.3: the approach "does not
+    /// utilize in any form the topology of the inheritance hierarchy",
+    /// unlike default inheritance's per-lookup search).
+    pub fn precompute(&self) -> AttrTypeCache {
+        let mut map = HashMap::new();
+        for class in self.schema.class_ids() {
+            let facts = EntityFacts::of_class(self.schema, class);
+            for attr in self.schema.applicable_attrs(class) {
+                if let Some(ty) = self.attr_type(&facts, attr) {
+                    map.insert((class, attr), ty);
+                }
+            }
+        }
+        AttrTypeCache { map }
+    }
+}
+
+/// Precomputed effective attribute types, keyed by `(class, attr)`.
+#[derive(Debug, Clone, Default)]
+pub struct AttrTypeCache {
+    map: HashMap<(ClassId, Sym), TySet>,
+}
+
+impl AttrTypeCache {
+    /// O(1) lookup of the effective type of `class.attr`.
+    pub fn get(&self, class: ClassId, attr: Sym) -> Option<&TySet> {
+        self.map.get(&(class, attr))
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_core::virtualize;
+    use chc_sdl::compile;
+
+    const HOSPITAL: &str = "
+        class Person;
+        class Physician is-a Person;
+        class Psychologist is-a Person;
+        class Patient is-a Person with treatedBy: Physician;
+        class Alcoholic is-a Patient with
+            treatedBy: Psychologist excuses treatedBy on Patient;
+    ";
+
+    #[test]
+    fn patient_attr_type_is_conditional_union() {
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let patient = schema.class_by_name("Patient").unwrap();
+        let physician = schema.class_by_name("Physician").unwrap();
+        let psychologist = schema.class_by_name("Psychologist").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+        let facts = EntityFacts::of_class(&schema, patient);
+        let ty = ctx.attr_type(&facts, treated_by).unwrap();
+        // Physician + Psychologist/Alcoholic: with nothing known about
+        // Alcoholic-membership, both disjuncts are possible.
+        assert!(!ty.all_within_class(physician));
+        assert!(!ty.all_within_class(psychologist));
+        assert!(ty.all_within_class(schema.class_by_name("Person").unwrap()));
+    }
+
+    #[test]
+    fn alcoholic_narrows_to_psychologist() {
+        // The (*) branch of §5.4's `when x is in Alcoholic` example.
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let psychologist = schema.class_by_name("Psychologist").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+        let facts = EntityFacts::of_class(&schema, alcoholic);
+        let ty = ctx.attr_type(&facts, treated_by).unwrap();
+        assert!(ty.all_within_class(psychologist));
+    }
+
+    #[test]
+    fn not_alcoholic_narrows_to_physician() {
+        // The (**) branch: x ∈ Patient, x ∉ Alcoholic ⇒ treatedBy is a
+        // Physician.
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let patient = schema.class_by_name("Patient").unwrap();
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let physician = schema.class_by_name("Physician").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+        let mut facts = EntityFacts::of_class(&schema, patient);
+        facts.assume_not_in(&schema, alcoholic);
+        let ty = ctx.attr_type(&facts, treated_by).unwrap();
+        assert!(ty.all_within_class(physician));
+    }
+
+    #[test]
+    fn inapplicable_attr_is_a_type_error() {
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let person = schema.class_by_name("Person").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+        let facts = EntityFacts::of_class(&schema, person);
+        // §2a: supervisor/treatedBy "is not applicable to arbitrary
+        // persons".
+        assert!(ctx.attr_type(&facts, treated_by).is_none());
+        assert!(!ctx.attr_applicable(&facts, treated_by));
+        let patient_facts =
+            EntityFacts::of_class(&schema, schema.class_by_name("Patient").unwrap());
+        assert!(ctx.attr_applicable(&patient_facts, treated_by));
+    }
+
+    #[test]
+    fn virtual_negative_propagation() {
+        // §5.4's treatedAt.location.state example, through the virtual
+        // classes of §5.6.
+        let schema = compile(
+            "
+            class Address with state: {'NJ, 'NY}; city: String;
+            class Hospital with accreditation: {'Local}; location: Address;
+            class Patient with treatedAt: Hospital;
+            class Tubercular_Patient is-a Patient with
+                treatedAt: Hospital [
+                    accreditation: None excuses accreditation on Hospital;
+                    location: Address [
+                        state: None excuses state on Address;
+                        country: {'Switzerland}
+                    ]
+                ];
+            ",
+        )
+        .unwrap();
+        let v = virtualize(&schema).unwrap();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let patient = s.class_by_name("Patient").unwrap();
+        let tb = s.class_by_name("Tubercular_Patient").unwrap();
+        let treated_at = s.sym("treatedAt").unwrap();
+        let location = s.sym("location").unwrap();
+        let state = s.sym("state").unwrap();
+
+        // Unguarded: a Patient's hospital's address's state may be absent.
+        let facts = EntityFacts::of_class(s, patient);
+        let hosp_ty = ctx.attr_type(&facts, treated_at).unwrap();
+        let addr_ty = step(&ctx, &hosp_ty, location);
+        let state_ty = step(&ctx, &addr_ty, state);
+        assert!(state_ty.may_be_absent(), "unguarded access is unsafe");
+
+        // Guarded by `p not in Tubercular_Patient`: safety restored.
+        let mut guarded = EntityFacts::of_class(s, patient);
+        guarded.assume_not_in(s, tb);
+        let hosp_ty = ctx.attr_type(&guarded, treated_at).unwrap();
+        let addr_ty = step(&ctx, &hosp_ty, location);
+        let state_ty = step(&ctx, &addr_ty, state);
+        assert!(!state_ty.may_be_absent(), "guard must eliminate the hazard");
+    }
+
+    /// Applies one attribute step to every entity atom of a TySet.
+    fn step(ctx: &TypeContext<'_>, ty: &TySet, attr: Sym) -> TySet {
+        let mut out = TySet::never();
+        for atom in &ty.atoms {
+            if let crate::tyset::Atom::Entity(f) = atom {
+                if let Some(t) = ctx.attr_type(f, attr) {
+                    out = out.union(t);
+                }
+            }
+        }
+        out
+    }
+}

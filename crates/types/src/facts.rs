@@ -1,0 +1,150 @@
+//! Membership facts about one entity.
+//!
+//! §5.4: "During program analysis one then accumulates information about
+//! the membership or non-membership of the value of some expression in
+//! classes and uses this to deduce further information." [`EntityFacts`]
+//! is that accumulated information: a positive set (classes the entity is
+//! known to belong to, closed *upward* — membership implies membership in
+//! every ancestor) and a negative set (classes it is known not to belong
+//! to, closed *downward* — non-membership excludes every descendant).
+
+use chc_model::{BitSet, ClassId, Schema};
+
+/// Positive and negative class-membership knowledge about one entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityFacts {
+    /// Classes the entity belongs to (upward closed).
+    pub pos: BitSet,
+    /// Classes the entity does not belong to (downward closed).
+    pub neg: BitSet,
+}
+
+impl EntityFacts {
+    /// No knowledge at all: some entity, could be anything.
+    pub fn unknown(schema: &Schema) -> Self {
+        let n = schema.num_classes();
+        EntityFacts { pos: BitSet::new(n), neg: BitSet::new(n) }
+    }
+
+    /// An entity known to be an instance of `class`.
+    pub fn of_class(schema: &Schema, class: ClassId) -> Self {
+        let mut f = Self::unknown(schema);
+        f.assume_in(schema, class);
+        f
+    }
+
+    /// Adds the fact `x ∈ class` (and, by the subset constraint of §3c,
+    /// `x ∈ A` for every ancestor `A`).
+    pub fn assume_in(&mut self, schema: &Schema, class: ClassId) {
+        for a in schema.ancestors_with_self(class) {
+            self.pos.insert(a.index());
+        }
+    }
+
+    /// Adds the fact `x ∉ class` (and `x ∉ D` for every descendant `D`).
+    pub fn assume_not_in(&mut self, schema: &Schema, class: ClassId) {
+        for d in schema.descendants_with_self(class) {
+            self.neg.insert(d.index());
+        }
+    }
+
+    /// Whether the entity is known to be in `class`.
+    pub fn known_in(&self, class: ClassId) -> bool {
+        self.pos.contains(class.index())
+    }
+
+    /// Whether the entity is known not to be in `class`.
+    pub fn known_not_in(&self, class: ClassId) -> bool {
+        self.neg.contains(class.index())
+    }
+
+    /// Whether the facts are unsatisfiable (`x ∈ C` and `x ∉ C`); a branch
+    /// carrying contradictory facts is unreachable.
+    pub fn contradictory(&self) -> bool {
+        self.pos.intersects(&self.neg)
+    }
+
+    /// Conjoins two fact sets (both are about the same entity).
+    pub fn merge(&mut self, other: &EntityFacts) {
+        self.pos.union_with(&other.pos);
+        self.neg.union_with(&other.neg);
+    }
+
+    /// Whether `self` implies `other` (knows at least as much).
+    pub fn implies(&self, other: &EntityFacts) -> bool {
+        other.pos.is_subset(&self.pos) && other.neg.is_subset(&self.neg)
+    }
+
+    /// The positive classes, as ids.
+    pub fn pos_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.pos.iter().map(|i| ClassId::from_raw(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    fn schema() -> Schema {
+        compile(
+            "
+            class Person;
+            class Patient is-a Person;
+            class Alcoholic is-a Patient;
+            class Physician is-a Person;
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn positive_facts_close_upward() {
+        let s = schema();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let patient = s.class_by_name("Patient").unwrap();
+        let person = s.class_by_name("Person").unwrap();
+        let f = EntityFacts::of_class(&s, alcoholic);
+        assert!(f.known_in(alcoholic) && f.known_in(patient) && f.known_in(person));
+        assert!(!f.known_in(s.class_by_name("Physician").unwrap()));
+    }
+
+    #[test]
+    fn negative_facts_close_downward() {
+        let s = schema();
+        let patient = s.class_by_name("Patient").unwrap();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let mut f = EntityFacts::unknown(&s);
+        f.assume_not_in(&s, patient);
+        assert!(f.known_not_in(patient) && f.known_not_in(alcoholic));
+        assert!(!f.known_not_in(s.class_by_name("Person").unwrap()));
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let s = schema();
+        let patient = s.class_by_name("Patient").unwrap();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let mut f = EntityFacts::of_class(&s, alcoholic);
+        assert!(!f.contradictory());
+        // x ∈ Alcoholic but x ∉ Patient is impossible.
+        f.assume_not_in(&s, patient);
+        assert!(f.contradictory());
+    }
+
+    #[test]
+    fn merge_and_implies() {
+        let s = schema();
+        let patient = s.class_by_name("Patient").unwrap();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let weak = EntityFacts::of_class(&s, patient);
+        let mut strong = EntityFacts::of_class(&s, alcoholic);
+        assert!(strong.implies(&weak));
+        assert!(!weak.implies(&strong));
+        let mut merged = weak.clone();
+        merged.merge(&strong);
+        assert!(merged.implies(&strong));
+        strong.merge(&weak);
+        assert_eq!(strong, merged);
+    }
+}

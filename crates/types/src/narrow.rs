@@ -1,0 +1,177 @@
+//! Guard narrowing and negative deduction.
+//!
+//! §5.4's branch analysis: in `when x is in Alcoholic then (*) else (**)`,
+//! the facts about `x` differ per branch, changing the types of its
+//! attribute paths. And "conversely, knowing that y.treatedBy is not in
+//! Physician, and y is not in Alcoholic, should allow the deduction that y
+//! is not in Patient at all" — modus tollens over the conditional types,
+//! implemented by [`deduce_not_in`].
+
+use chc_model::ClassId;
+
+use crate::ctx::TypeContext;
+use crate::facts::EntityFacts;
+use crate::tyset::TySet;
+
+/// The facts holding in each branch of a membership test `x in C`.
+#[derive(Debug, Clone)]
+pub struct Branches {
+    /// Facts in the then-branch (test succeeded). `None` if that branch is
+    /// unreachable (the test contradicts what is already known).
+    pub then_facts: Option<EntityFacts>,
+    /// Facts in the else-branch (test failed). `None` if unreachable.
+    pub else_facts: Option<EntityFacts>,
+}
+
+/// Splits facts on a membership test.
+pub fn branch_on_membership(
+    ctx: &TypeContext<'_>,
+    facts: &EntityFacts,
+    class: ClassId,
+) -> Branches {
+    let then_facts = {
+        let mut f = facts.clone();
+        f.assume_in(ctx.schema, class);
+        (!f.contradictory()).then_some(f)
+    };
+    let else_facts = {
+        let mut f = facts.clone();
+        f.assume_not_in(ctx.schema, class);
+        (!f.contradictory()).then_some(f)
+    };
+    Branches { then_facts, else_facts }
+}
+
+/// Negative deduction: which classes can `x` *not* belong to, given that
+/// `x.attr`'s value is known to lie within `attr_ty`?
+///
+/// For each candidate class `B` (not already settled), hypothetically
+/// assume `x ∈ B` and compute the resulting possible type of `x.attr`;
+/// if it has no overlap with `attr_ty`, then `x ∉ B`.
+pub fn deduce_not_in(
+    ctx: &TypeContext<'_>,
+    facts: &EntityFacts,
+    attr: chc_model::Sym,
+    attr_ty: &TySet,
+) -> Vec<ClassId> {
+    let schema = ctx.schema;
+    let mut out = Vec::new();
+    for class in schema.class_ids() {
+        if facts.known_in(class) || facts.known_not_in(class) {
+            continue;
+        }
+        let mut hyp = facts.clone();
+        hyp.assume_in(schema, class);
+        if hyp.contradictory() {
+            out.push(class);
+            continue;
+        }
+        if let Some(allowed) = ctx.attr_type(&hyp, attr) {
+            if allowed.intersect(schema, attr_ty).is_never() {
+                out.push(class);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tyset::Atom;
+    use chc_sdl::compile;
+
+    const HOSPITAL: &str = "
+        class Person;
+        class Physician is-a Person;
+        class Psychologist is-a Person;
+        class Patient is-a Person with treatedBy: Physician;
+        class Alcoholic is-a Patient with
+            treatedBy: Psychologist excuses treatedBy on Patient;
+    ";
+
+    #[test]
+    fn branches_split_facts() {
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let patient = schema.class_by_name("Patient").unwrap();
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let facts = EntityFacts::of_class(&schema, patient);
+        let b = branch_on_membership(&ctx, &facts, alcoholic);
+        assert!(b.then_facts.as_ref().unwrap().known_in(alcoholic));
+        assert!(b.else_facts.as_ref().unwrap().known_not_in(alcoholic));
+    }
+
+    #[test]
+    fn impossible_then_branch_is_unreachable() {
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let patient = schema.class_by_name("Patient").unwrap();
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let mut facts = EntityFacts::of_class(&schema, patient);
+        facts.assume_not_in(&schema, alcoholic);
+        let b = branch_on_membership(&ctx, &facts, alcoholic);
+        assert!(b.then_facts.is_none());
+        assert!(b.else_facts.is_some());
+    }
+
+    #[test]
+    fn impossible_else_branch_is_unreachable() {
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let facts = EntityFacts::of_class(&schema, alcoholic);
+        let b = branch_on_membership(&ctx, &facts, alcoholic);
+        assert!(b.then_facts.is_some());
+        assert!(b.else_facts.is_none());
+    }
+
+    #[test]
+    fn paper_negative_deduction() {
+        // y.treatedBy ∉ Physician ∧ y ∉ Alcoholic ⇒ y ∉ Patient.
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let physician = schema.class_by_name("Physician").unwrap();
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let patient = schema.class_by_name("Patient").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+
+        let mut y = EntityFacts::unknown(&schema);
+        y.assume_not_in(&schema, alcoholic);
+        let mut val = EntityFacts::unknown(&schema);
+        val.assume_not_in(&schema, physician);
+        let attr_ty = TySet::of(Atom::Entity(val));
+
+        let deduced = deduce_not_in(&ctx, &y, treated_by, &attr_ty);
+        assert!(deduced.contains(&patient), "deduced {deduced:?}");
+    }
+
+    #[test]
+    fn no_deduction_without_the_negative_alcoholic_fact() {
+        // Without y ∉ Alcoholic, y could be an alcoholic patient treated
+        // by a psychologist, so y ∈ Patient remains possible.
+        let schema = compile(HOSPITAL).unwrap();
+        let ctx = TypeContext::new(&schema);
+        let physician = schema.class_by_name("Physician").unwrap();
+        let patient = schema.class_by_name("Patient").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+
+        let y = EntityFacts::unknown(&schema);
+        let mut val = EntityFacts::unknown(&schema);
+        val.assume_not_in(&schema, physician);
+        let attr_ty = TySet::of(Atom::Entity(val));
+
+        let deduced = deduce_not_in(&ctx, &y, treated_by, &attr_ty);
+        assert!(!deduced.contains(&patient), "deduced {deduced:?}");
+        // But Alcoholic itself *is* refuted if the value is additionally
+        // known not to be a Psychologist.
+        let psychologist = schema.class_by_name("Psychologist").unwrap();
+        let mut val2 = EntityFacts::unknown(&schema);
+        val2.assume_not_in(&schema, physician);
+        val2.assume_not_in(&schema, psychologist);
+        let attr_ty2 = TySet::of(Atom::Entity(val2));
+        let deduced2 = deduce_not_in(&ctx, &y, treated_by, &attr_ty2);
+        assert!(deduced2.contains(&patient));
+        assert!(deduced2.contains(&schema.class_by_name("Alcoholic").unwrap()));
+    }
+}

@@ -1,0 +1,82 @@
+//! The precomputed effective-type cache must agree with live deduction,
+//! and narrowing must be monotone (more facts ⇒ a subset of values).
+
+use chc_types::{oracle, EntityFacts, TypeContext};
+use chc_workloads::{generate, HierarchyParams};
+
+#[test]
+fn cache_agrees_with_live_deduction() {
+    for seed in 0..5u64 {
+        let gen = generate(&HierarchyParams { classes: 40, seed, ..Default::default() });
+        let schema = &gen.schema;
+        let ctx = TypeContext::new(schema);
+        let cache = ctx.precompute();
+        let mut pairs = 0;
+        for class in schema.class_ids() {
+            let facts = EntityFacts::of_class(schema, class);
+            for attr in schema.applicable_attrs(class) {
+                let live = ctx.attr_type(&facts, attr);
+                let cached = cache.get(class, attr);
+                assert_eq!(live.as_ref(), cached, "seed {seed}");
+                pairs += 1;
+            }
+        }
+        assert_eq!(cache.len(), pairs);
+        assert!(!cache.is_empty());
+    }
+}
+
+#[test]
+fn narrowing_is_monotone_against_the_oracle() {
+    // Adding negative facts can only shrink (or keep) the deduced token
+    // set, and it never drops below the exact set for the compatible
+    // total memberships.
+    for seed in 100..110u64 {
+        let gen = generate(&HierarchyParams {
+            classes: 7,
+            attrs: 1,
+            tokens: 4,
+            seed,
+            ..Default::default()
+        });
+        let schema = &gen.schema;
+        let ctx = TypeContext::new(schema);
+        let attr = gen.attr_syms[0];
+        let universe = oracle::token_universe(schema, attr);
+        for membership in oracle::enumerate_memberships(schema) {
+            let Some(exact) = oracle::allowed_exact(schema, &membership, attr, &universe)
+            else {
+                continue;
+            };
+            // Start from positives only, then add the negatives one at a
+            // time; each step must stay a superset of `exact` and a subset
+            // of the previous step.
+            let mut facts = EntityFacts::unknown(schema);
+            for &c in &membership {
+                facts.assume_in(schema, c);
+            }
+            let mut prev = oracle::denote_tokens(
+                &ctx.attr_type(&facts, attr).expect("applicable"),
+                &universe,
+            );
+            assert!(exact.is_subset(&prev), "positives-only must be sound");
+            for c in schema.class_ids() {
+                if membership.contains(&c) || facts.known_not_in(c) {
+                    continue;
+                }
+                facts.assume_not_in(schema, c);
+                if facts.contradictory() {
+                    break;
+                }
+                let cur = oracle::denote_tokens(
+                    &ctx.attr_type(&facts, attr).expect("applicable"),
+                    &universe,
+                );
+                assert!(cur.is_subset(&prev), "seed {seed}: narrowing grew the type");
+                assert!(exact.is_subset(&cur), "seed {seed}: narrowing became unsound");
+                prev = cur;
+            }
+            assert_eq!(prev, exact, "seed {seed}: full knowledge must be exact");
+        }
+    }
+}

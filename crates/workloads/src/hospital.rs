@@ -1,0 +1,333 @@
+//! A populated hospital database — the substrate for the query and
+//! storage experiments (E4, E6).
+//!
+//! The generator builds the §3–§5 hospital schema (virtualized, so `H1`
+//! and `A1` exist), then populates it with a controllable fraction of
+//! exceptional patients: alcoholics treated by psychologists, tubercular
+//! patients treated at Swiss hospitals (whose addresses have no `state`),
+//! and ambulatory patients with no ward.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use chc_core::{virtualize, Virtualized};
+use chc_extent::{refresh_virtual_extents, ExtentStore};
+use chc_model::{ClassId, Oid, Sym, Value};
+
+use crate::vignettes::{compiled, HOSPITAL};
+
+/// Sizing and mix parameters.
+#[derive(Debug, Clone)]
+pub struct HospitalParams {
+    /// Number of patients.
+    pub patients: usize,
+    /// Number of ordinary hospitals (plus one Swiss hospital per ~10).
+    pub hospitals: usize,
+    /// Number of physicians (oncologists are a third of them).
+    pub physicians: usize,
+    /// Fraction of patients that are tubercular (treated at Swiss
+    /// hospitals) — the ε the experiments sweep.
+    pub tubercular_fraction: f64,
+    /// Fraction of patients that are alcoholic.
+    pub alcoholic_fraction: f64,
+    /// Fraction of patients that are ambulatory (no ward).
+    pub ambulatory_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HospitalParams {
+    fn default() -> Self {
+        HospitalParams {
+            patients: 1000,
+            hospitals: 20,
+            physicians: 30,
+            tubercular_fraction: 0.05,
+            alcoholic_fraction: 0.05,
+            ambulatory_fraction: 0.05,
+            seed: 0x05EC1A1,
+        }
+    }
+}
+
+/// Frequently needed ids, resolved once.
+#[derive(Debug, Clone)]
+pub struct HospitalIds {
+    /// `Patient`
+    pub patient: ClassId,
+    /// `Alcoholic`
+    pub alcoholic: ClassId,
+    /// `Tubercular_Patient`
+    pub tubercular: ClassId,
+    /// `Ambulatory_Patient`
+    pub ambulatory: ClassId,
+    /// `Cancer_Patient`
+    pub cancer: ClassId,
+    /// `Physician`
+    pub physician: ClassId,
+    /// `Psychologist`
+    pub psychologist: ClassId,
+    /// `Hospital`
+    pub hospital: ClassId,
+    /// `Address`
+    pub address: ClassId,
+    /// `treatedBy`
+    pub treated_by: Sym,
+    /// `treatedAt`
+    pub treated_at: Sym,
+    /// `location`
+    pub location: Sym,
+    /// `state`
+    pub state: Sym,
+    /// `city`
+    pub city: Sym,
+    /// `accreditation`
+    pub accreditation: Sym,
+    /// `ward`
+    pub ward: Sym,
+    /// `name`
+    pub name: Sym,
+    /// `age`
+    pub age: Sym,
+}
+
+/// The generated database.
+pub struct HospitalDb {
+    /// The virtualized schema (`H1`, `A1` present) and virtual-class info.
+    pub virtualized: Virtualized,
+    /// The populated store, with virtual extents refreshed.
+    pub store: ExtentStore,
+    /// Resolved ids.
+    pub ids: HospitalIds,
+    /// All patients, in creation order.
+    pub patients: Vec<Oid>,
+}
+
+/// Builds a populated hospital database.
+pub fn build(params: &HospitalParams) -> HospitalDb {
+    let schema = compiled(HOSPITAL);
+    let v = virtualize(&schema).expect("hospital schema virtualizes");
+    let s = &v.schema;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let ids = HospitalIds {
+        patient: s.class_by_name("Patient").unwrap(),
+        alcoholic: s.class_by_name("Alcoholic").unwrap(),
+        tubercular: s.class_by_name("Tubercular_Patient").unwrap(),
+        ambulatory: s.class_by_name("Ambulatory_Patient").unwrap(),
+        cancer: s.class_by_name("Cancer_Patient").unwrap(),
+        physician: s.class_by_name("Physician").unwrap(),
+        psychologist: s.class_by_name("Psychologist").unwrap(),
+        hospital: s.class_by_name("Hospital").unwrap(),
+        address: s.class_by_name("Address").unwrap(),
+        treated_by: s.sym("treatedBy").unwrap(),
+        treated_at: s.sym("treatedAt").unwrap(),
+        location: s.sym("location").unwrap(),
+        state: s.sym("state").unwrap(),
+        city: s.sym("city").unwrap(),
+        accreditation: s.sym("accreditation").unwrap(),
+        ward: s.sym("ward").unwrap(),
+        name: s.sym("name").unwrap(),
+        age: s.sym("age").unwrap(),
+    };
+    let oncologist = s.class_by_name("Oncologist").unwrap();
+    let ward_class = s.class_by_name("Ward").unwrap();
+    let drug_class = s.class_by_name("Drug").unwrap();
+    let street = s.sym("street").unwrap();
+    let chemo = s.sym("chemoTherapy").unwrap();
+    let states: Vec<Sym> = ["AL", "NJ", "NY", "WV"]
+        .iter()
+        .map(|t| s.sym(t).unwrap())
+        .collect();
+    let accreditations: Vec<Sym> = ["Local", "State", "Federal"]
+        .iter()
+        .map(|t| s.sym(t).unwrap())
+        .collect();
+    let switzerland = s.sym("Switzerland").unwrap();
+    let country = s.sym("country").unwrap();
+
+    let mut store = ExtentStore::new(s);
+
+    // Ordinary hospitals with ordinary addresses.
+    let mut ordinary_hospitals = Vec::new();
+    for i in 0..params.hospitals.max(1) {
+        let addr = store.create(s, &[ids.address]);
+        store.set_attr(addr, street, Value::str(&format!("{i} Main St")));
+        store.set_attr(addr, ids.city, Value::str(&format!("City{i}")));
+        store.set_attr(addr, ids.state, Value::Tok(states[i % states.len()]));
+        let h = store.create(s, &[ids.hospital]);
+        store.set_attr(h, ids.accreditation, Value::Tok(accreditations[i % accreditations.len()]));
+        store.set_attr(h, ids.location, Value::Obj(addr));
+        ordinary_hospitals.push(h);
+    }
+    // Swiss hospitals: no accreditation, addresses without a state.
+    let n_swiss = (params.hospitals / 10).max(1);
+    let mut swiss_hospitals = Vec::new();
+    for i in 0..n_swiss {
+        let addr = store.create(s, &[ids.address]);
+        store.set_attr(addr, street, Value::str(&format!("{i} Bahnhofstrasse")));
+        store.set_attr(addr, ids.city, Value::str("Davos"));
+        store.set_attr(addr, country, Value::Tok(switzerland));
+        let h = store.create(s, &[ids.hospital]);
+        store.set_attr(h, ids.location, Value::Obj(addr));
+        swiss_hospitals.push(h);
+    }
+
+    // Staff.
+    let mut physicians = Vec::new();
+    let mut oncologists = Vec::new();
+    for i in 0..params.physicians.max(1) {
+        let class = if i % 3 == 0 { oncologist } else { ids.physician };
+        let p = store.create(s, &[class]);
+        store.set_attr(p, ids.name, Value::str(&format!("Dr{i}")));
+        store.set_attr(p, ids.age, Value::Int(rng.gen_range(30..70)));
+        let aff = ordinary_hospitals[i % ordinary_hospitals.len()];
+        store.set_attr(p, s.sym("affiliatedWith").unwrap(), Value::Obj(aff));
+        physicians.push(p);
+        if class == oncologist {
+            oncologists.push(p);
+        }
+    }
+    let mut psychologists = Vec::new();
+    for i in 0..(params.physicians / 3).max(1) {
+        let p = store.create(s, &[ids.psychologist]);
+        store.set_attr(p, ids.name, Value::str(&format!("Psy{i}")));
+        store.set_attr(p, ids.age, Value::Int(rng.gen_range(30..70)));
+        psychologists.push(p);
+    }
+    let wards: Vec<Oid> = (0..8).map(|_| store.create(s, &[ward_class])).collect();
+    let drugs: Vec<Oid> = (0..4).map(|_| store.create(s, &[drug_class])).collect();
+
+    // Patients.
+    let mut patients = Vec::with_capacity(params.patients);
+    for i in 0..params.patients {
+        let roll: f64 = rng.gen();
+        let (classes, kind) = if roll < params.tubercular_fraction {
+            (vec![ids.tubercular], "tb")
+        } else if roll < params.tubercular_fraction + params.alcoholic_fraction {
+            (vec![ids.alcoholic], "alc")
+        } else if roll
+            < params.tubercular_fraction
+                + params.alcoholic_fraction
+                + params.ambulatory_fraction
+        {
+            (vec![ids.ambulatory], "amb")
+        } else if roll < params.tubercular_fraction
+            + params.alcoholic_fraction
+            + params.ambulatory_fraction
+            + 0.1
+        {
+            (vec![ids.cancer], "cancer")
+        } else {
+            (vec![ids.patient], "plain")
+        };
+        let p = store.create(s, &classes);
+        store.set_attr(p, ids.name, Value::str(&format!("Patient{i}")));
+        store.set_attr(p, ids.age, Value::Int(rng.gen_range(1..120)));
+        match kind {
+            "tb" => {
+                let h = swiss_hospitals[i % swiss_hospitals.len()];
+                store.set_attr(p, ids.treated_at, Value::Obj(h));
+                store.set_attr(p, ids.treated_by, Value::Obj(physicians[i % physicians.len()]));
+                store.set_attr(p, ids.ward, Value::Obj(wards[i % wards.len()]));
+            }
+            "alc" => {
+                store.set_attr(p, ids.treated_at, Value::Obj(ordinary_hospitals[i % ordinary_hospitals.len()]));
+                store.set_attr(p, ids.treated_by, Value::Obj(psychologists[i % psychologists.len()]));
+                store.set_attr(p, ids.ward, Value::Obj(wards[i % wards.len()]));
+            }
+            "amb" => {
+                store.set_attr(p, ids.treated_at, Value::Obj(ordinary_hospitals[i % ordinary_hospitals.len()]));
+                store.set_attr(p, ids.treated_by, Value::Obj(physicians[i % physicians.len()]));
+                // No ward: the attribute is excused to None.
+            }
+            "cancer" => {
+                store.set_attr(p, ids.treated_at, Value::Obj(ordinary_hospitals[i % ordinary_hospitals.len()]));
+                store.set_attr(p, ids.treated_by, Value::Obj(oncologists[i % oncologists.len()]));
+                store.set_attr(p, chemo, Value::Obj(drugs[i % drugs.len()]));
+                store.set_attr(p, ids.ward, Value::Obj(wards[i % wards.len()]));
+            }
+            _ => {
+                store.set_attr(p, ids.treated_at, Value::Obj(ordinary_hospitals[i % ordinary_hospitals.len()]));
+                store.set_attr(p, ids.treated_by, Value::Obj(physicians[i % physicians.len()]));
+                store.set_attr(p, ids.ward, Value::Obj(wards[i % wards.len()]));
+            }
+        }
+        patients.push(p);
+    }
+
+    refresh_virtual_extents(&mut store, &v);
+    HospitalDb { virtualized: v, store, ids, patients }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_core::{MissingPolicy, Semantics, ValidationOptions};
+    use chc_extent::validate_stored;
+
+    #[test]
+    fn database_is_fully_valid() {
+        let db = build(&HospitalParams { patients: 200, ..Default::default() });
+        let opts = ValidationOptions {
+            semantics: Semantics::Correct,
+            missing: MissingPolicy::Absent,
+        };
+        let s = &db.virtualized.schema;
+        let mut bad = 0;
+        for &p in &db.patients {
+            let violations = validate_stored(s, &db.store, opts, p);
+            if !violations.is_empty() {
+                bad += 1;
+                if bad <= 3 {
+                    for v in &violations {
+                        eprintln!("{}", v.render(s));
+                    }
+                }
+            }
+        }
+        assert_eq!(bad, 0, "{bad} invalid patients");
+    }
+
+    #[test]
+    fn exceptional_fractions_are_respected() {
+        let db = build(&HospitalParams {
+            patients: 2000,
+            tubercular_fraction: 0.2,
+            alcoholic_fraction: 0.1,
+            ..Default::default()
+        });
+        let n_tb = db.store.count(db.ids.tubercular) as f64;
+        let n_alc = db.store.count(db.ids.alcoholic) as f64;
+        assert!((n_tb / 2000.0 - 0.2).abs() < 0.05, "tb fraction {}", n_tb / 2000.0);
+        assert!((n_alc / 2000.0 - 0.1).abs() < 0.05);
+        assert_eq!(db.store.count(db.ids.patient), 2000);
+    }
+
+    #[test]
+    fn virtual_extents_contain_the_swiss_hospitals() {
+        let db = build(&HospitalParams { patients: 500, tubercular_fraction: 0.3, ..Default::default() });
+        let h1 = db
+            .virtualized
+            .virtuals
+            .iter()
+            .find(|i| i.path.len() == 1)
+            .unwrap();
+        assert!(db.store.count(h1.class) >= 1);
+        // Every H1 member lacks accreditation.
+        for h in db.store.extent(h1.class) {
+            assert!(db.store.get_attr(h, db.ids.accreditation).is_none());
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = build(&HospitalParams { patients: 100, ..Default::default() });
+        let b = build(&HospitalParams { patients: 100, ..Default::default() });
+        assert_eq!(a.patients.len(), b.patients.len());
+        assert_eq!(
+            a.store.count(a.ids.tubercular),
+            b.store.count(b.ids.tubercular)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # chc-workloads — deterministic workload generators
+//!
+//! * [`vignettes`] — the paper's worked examples as compilable SDL.
+//! * [`hospital`] — a populated hospital database with a controllable
+//!   exceptional fraction (substrate for experiments E4 and E6).
+//! * [`randhier`] — random checker-clean hierarchies plus fault seeding
+//!   (experiments E1, E3, E8).
+//! * [`populate()`] — type-directed generic instance population.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hospital;
+pub mod populate;
+pub mod randhier;
+pub mod vignettes;
+
+pub use hospital::{build as build_hospital, HospitalDb, HospitalIds, HospitalParams};
+pub use populate::{populate, PopulateParams};
+pub use randhier::{
+    detection_score, generate, seed_contradictions, GeneratedHierarchy, HierarchyParams,
+    SeededFault,
+};

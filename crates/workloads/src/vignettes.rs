@@ -1,0 +1,174 @@
+//! The paper's worked examples, as ready-to-compile SDL sources.
+//!
+//! Each constant is the schema exactly as the paper motivates it; the
+//! `*_compiled` helpers return checked schemas. Experiment E7 runs the
+//! §5.2 semantics ladder over these.
+
+use chc_core::check;
+use chc_model::Schema;
+use chc_sdl::compile;
+
+/// Figure 1 of the paper: addresses, persons, employees.
+pub const FIGURE_ONE: &str = "
+class Address with
+    street: String;
+    city: String;
+    state: {'AL, 'NJ, 'NY, 'WV};
+class Person with
+    name: String;
+    age: 1..120;
+    home: Address;
+class Employee is-a Person with
+    age: 16..65;
+    supervisor: Employee;
+    office: Address;
+";
+
+/// §3's hospital Information System, extended with §4/§5's exceptional
+/// subclasses and their excuses.
+pub const HOSPITAL: &str = "
+class Address with
+    street: String;
+    city: String;
+    state: {'AL, 'NJ, 'NY, 'WV};
+class Hospital with
+    accreditation: {'Local, 'State, 'Federal};
+    location: Address;
+class Person with
+    name: String;
+    age: 1..120;
+class Health_Professional is-a Person;
+class Physician is-a Health_Professional with
+    affiliatedWith: Hospital;
+class Oncologist is-a Physician;
+class Psychologist is-a Health_Professional;
+class Drug;
+class Ward;
+class Patient is-a Person with
+    treatedBy: Physician;
+    treatedAt: Hospital;
+    ward: Ward;
+class Cancer_Patient is-a Patient with
+    treatedBy: Oncologist;
+    chemoTherapy: Drug;
+class Alcoholic is-a Patient with
+    treatedBy: Psychologist excuses treatedBy on Patient;
+class Ambulatory_Patient is-a Patient with
+    ward: None excuses ward on Patient;
+class Tubercular_Patient is-a Patient with
+    treatedAt: Hospital [
+        accreditation: None excuses accreditation on Hospital;
+        location: Address [
+            state: None excuses state on Address;
+            country: {'Switzerland}
+        ]
+    ];
+";
+
+/// §4.1/§5.1's multiple-membership example: renal failure predicts high
+/// blood pressure, hemorrhage predicts (and overrides with) low.
+pub const BLOOD_PRESSURE: &str = "
+class Patient;
+class Renal_Failure_Patient is-a Patient with
+    bloodPressure: 140..220;
+class Hemorrhaging_Patient is-a Patient with
+    bloodPressure: 50..90 excuses bloodPressure on Renal_Failure_Patient;
+";
+
+/// The Quaker/Republican diamond with the paper's mutual excuses: "we do
+/// not wish to favor either opinion."
+pub const NIXON: &str = "
+class Person with
+    opinion: {'Hawk, 'Dove, 'Ostrich};
+class Quaker is-a Person with
+    opinion: {'Dove} excuses opinion on Republican;
+class Republican is-a Person with
+    opinion: {'Hawk} excuses opinion on Quaker;
+";
+
+/// AI's flying-birds example, phrased with excuses.
+pub const BIRDS: &str = "
+class Bird with
+    locomotion: {'Flies};
+class Penguin is-a Bird with
+    locomotion: {'Swims} excuses locomotion on Bird;
+class Ostrich is-a Bird with
+    locomotion: {'Runs} excuses locomotion on Bird;
+class Sparrow is-a Bird;
+";
+
+/// §5.4's temporary employees: "temporary employees get lump sum payments,
+/// and do not have (monthly) salaries."
+pub const TEMPORARY_EMPLOYEES: &str = "
+class Employee with
+    salary: Integer;
+class Temporary_Employee is-a Employee with
+    salary: None excuses salary on Employee;
+    lumpSum: Integer;
+";
+
+/// Compiles and checker-verifies one of the vignette sources.
+pub fn compiled(src: &str) -> Schema {
+    let schema = compile(src).unwrap_or_else(|e| panic!("vignette must compile: {e}"));
+    let report = check(&schema);
+    assert!(report.is_ok(), "vignette must be checker-clean: {}", report.render(&schema));
+    schema
+}
+
+/// All vignettes with display names, for table-driven experiments.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("figure-1", FIGURE_ONE),
+        ("hospital", HOSPITAL),
+        ("blood-pressure", BLOOD_PRESSURE),
+        ("nixon", NIXON),
+        ("birds", BIRDS),
+        ("temporary-employees", TEMPORARY_EMPLOYEES),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vignette_compiles_and_checks() {
+        for (name, src) in all() {
+            let schema = compiled(src);
+            assert!(schema.num_classes() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn hospital_has_the_expected_shape() {
+        let s = compiled(HOSPITAL);
+        let patient = s.class_by_name("Patient").unwrap();
+        let alcoholic = s.class_by_name("Alcoholic").unwrap();
+        let cancer = s.class_by_name("Cancer_Patient").unwrap();
+        assert!(s.is_strict_subclass(alcoholic, patient));
+        assert!(s.is_strict_subclass(cancer, patient));
+        let treated_by = s.sym("treatedBy").unwrap();
+        assert_eq!(s.excusers_of(patient, treated_by).len(), 1);
+        // Cancer_Patient's Oncologist range is a *proper* specialization —
+        // no excuse, no warning.
+        let report = check(&s);
+        assert_eq!(report.warnings().count(), 0);
+    }
+
+    #[test]
+    fn nixon_diamond_can_be_extended_with_a_member_class() {
+        // A class for people who are both, as the semantics §5.2 demands,
+        // is accepted thanks to the mutual excuses.
+        let src = format!("{NIXON}\nclass Quaker_Republican is-a Quaker, Republican;");
+        let schema = compile(&src).unwrap();
+        assert!(check(&schema).is_ok());
+    }
+
+    #[test]
+    fn virtualized_hospital_checks_clean() {
+        let s = compiled(HOSPITAL);
+        let v = chc_core::virtualize(&s).unwrap();
+        assert!(check(&v.schema).is_ok());
+        assert_eq!(v.virtuals.len(), 2);
+    }
+}

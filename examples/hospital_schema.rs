@@ -1,0 +1,94 @@
+//! The paper's full hospital Information System: embedded excuses,
+//! virtual classes (H1/A1), computed virtual extents, and schema
+//! evolution with veracity.
+//!
+//! Run with `cargo run --example hospital_schema`.
+
+use excuses::core::{evolve, virtualize, check};
+use excuses::extent::{refresh_virtual_extents, virtual_extent, ExtentStore};
+use excuses::model::{Range, Value};
+use excuses::sdl::print_schema;
+use excuses::workloads::vignettes::{compiled, HOSPITAL};
+
+fn main() {
+    // Compile and print the schema back (round-trips through the SDL).
+    let schema = compiled(HOSPITAL);
+    println!("== hospital schema ({} classes) ==", schema.num_classes());
+    println!("{}", print_schema(&schema));
+
+    // §5.6: virtualize the embedded excuses of Tubercular_Patient. Two
+    // virtual classes appear: H1 (unaccredited Swiss hospitals) and A1
+    // (state-less Swiss addresses).
+    let v = virtualize(&schema).unwrap();
+    println!("== virtual classes ==");
+    for info in &v.virtuals {
+        let path: Vec<&str> = info.path.iter().map(|p| v.schema.resolve(*p)).collect();
+        println!(
+            "  {} is-a {} — extent = {}.{} over {}",
+            v.schema.class_name(info.class),
+            v.schema.class_name(info.base),
+            v.schema.class_name(info.root),
+            path.join("."),
+            v.schema.class_name(info.root),
+        );
+    }
+    assert_eq!(v.virtuals.len(), 2);
+    assert!(check(&v.schema).is_ok());
+
+    // Populate: a Swiss hospital and a tubercular patient treated there.
+    let s = &v.schema;
+    let mut store = ExtentStore::new(s);
+    let addr = store.create(s, &[s.class_by_name("Address").unwrap()]);
+    store.set_attr(addr, s.sym("city").unwrap(), Value::str("Davos"));
+    store.set_attr(addr, s.sym("country").unwrap(), Value::Tok(s.sym("Switzerland").unwrap()));
+    let hospital = store.create(s, &[s.class_by_name("Hospital").unwrap()]);
+    store.set_attr(hospital, s.sym("location").unwrap(), Value::Obj(addr));
+    let tb = store.create(s, &[s.class_by_name("Tubercular_Patient").unwrap()]);
+    store.set_attr(tb, s.sym("treatedAt").unwrap(), Value::Obj(hospital));
+
+    // The virtual extents are computed, not stored: "implicitly
+    // manipulated when explicit changes to normal classes are made."
+    let h1 = v.virtuals.iter().find(|i| i.path.len() == 1).unwrap();
+    let ext = virtual_extent(&store, h1);
+    println!(
+        "\nextent of {}: {:?}",
+        v.schema.class_name(h1.class),
+        ext.iter().collect::<Vec<_>>()
+    );
+    assert!(ext.contains(&hospital));
+    refresh_virtual_extents(&mut store, &v);
+    assert!(store.is_member(hospital, h1.class));
+
+    // Schema evolution with veracity (§6): re-ranging Patient.treatedBy
+    // to Psychologist breaks Cancer_Patient (whose Oncologist range now
+    // contradicts) and makes Alcoholic's excuse redundant — the checker
+    // reports both, at the right places.
+    let patient = schema.class_by_name("Patient").unwrap();
+    let treated_by = schema.sym("treatedBy").unwrap();
+    let psychologist = schema.class_by_name("Psychologist").unwrap();
+    let narrowed =
+        evolve::set_range(&schema, patient, treated_by, Range::Class(psychologist)).unwrap();
+    println!("\n== after re-ranging Patient.treatedBy to Psychologist ==");
+    println!("{}", narrowed.report.render(&narrowed.schema));
+    assert!(!narrowed.report.is_ok(), "evolution surfaces the new contradiction");
+    assert!(narrowed.report.warnings().count() >= 1, "the old excuse is now redundant");
+
+    // Locality (§6): extending the hierarchy at the bottom with a properly
+    // excused exceptional subclass touches nothing else.
+    let extended = evolve::add_subclass(
+        &schema,
+        "Neurotic_Patient",
+        &[patient],
+        &[(
+            "treatedBy",
+            excuses::model::AttrSpec::plain(Range::Class(psychologist))
+                .excusing(treated_by, patient),
+        )],
+    )
+    .unwrap();
+    assert!(extended.report.is_ok());
+    println!(
+        "added Neurotic_Patient locally; schema now has {} classes, still clean",
+        extended.schema.num_classes()
+    );
+}

@@ -1,0 +1,69 @@
+//! The Quaker/Republican diamond: multiple class membership with
+//! contradictory predictions, adjudicated by mutual excuses — and the
+//! §5.2 semantics ladder showing why the paper's final rule is the right
+//! one.
+//!
+//! Run with `cargo run --example nixon_diamond`.
+
+use excuses::core::{validate_object, MissingPolicy, Semantics, ValidationOptions};
+use excuses::extent::ExtentStore;
+use excuses::model::Value;
+use excuses::workloads::vignettes::{compiled, NIXON};
+
+fn main() {
+    let schema = compiled(NIXON);
+    let person = schema.class_by_name("Person").unwrap();
+    let quaker = schema.class_by_name("Quaker").unwrap();
+    let republican = schema.class_by_name("Republican").unwrap();
+    let opinion = schema.sym("opinion").unwrap();
+
+    let mut store = ExtentStore::new(&schema);
+    // dick is both a Quaker and a Republican.
+    let dick = store.create(&schema, &[quaker, republican]);
+    assert!(store.is_member(dick, person));
+
+    println!("opinion      | {:<8} {:<11} {:<18} {:<16} correct (final)",
+        "strict", "broadened", "member-of-excuser", "exact-partition");
+    for tok in ["Hawk", "Dove", "Ostrich"] {
+        let sym = schema.sym(tok).unwrap();
+        store.set_attr(dick, opinion, Value::Tok(sym));
+        let mut row = format!("{tok:<12} |");
+        for sem in Semantics::ALL {
+            let opts = ValidationOptions { semantics: sem, missing: MissingPolicy::Absent };
+            let ok = validate_object(&schema, &store, opts, dick, &[quaker, republican])
+                .is_empty();
+            row.push_str(&format!(" {:<11}", if ok { "accept" } else { "reject" }));
+        }
+        println!("{row}");
+    }
+
+    // The paper's verdicts, mechanically checked:
+    let mut verdict = |sem: Semantics, tok: &str| {
+        let sym = schema.sym(tok).unwrap();
+        store.set_attr(dick, opinion, Value::Tok(sym));
+        let opts = ValidationOptions { semantics: sem, missing: MissingPolicy::Absent };
+        validate_object(&schema, &store, opts, dick, &[quaker, republican]).is_empty()
+    };
+    // Strict: dick cannot exist at all.
+    assert!(!verdict(Semantics::Strict, "Hawk") && !verdict(Semantics::Strict, "Dove"));
+    // Member-of-excuser: "dagwood would be allowed to have even opinion
+    // 'Ostrich" — the §5.2 counterexample.
+    assert!(verdict(Semantics::MemberOfExcuser, "Ostrich"));
+    // Exact partition: "each class points a finger at the other" — at
+    // least one of Hawk/Dove is wrongly rejected.
+    assert!(!verdict(Semantics::ExactPartition, "Hawk") || !verdict(Semantics::ExactPartition, "Dove"));
+    // Correct: Hawk or Dove, never Ostrich.
+    assert!(verdict(Semantics::Correct, "Hawk"));
+    assert!(verdict(Semantics::Correct, "Dove"));
+    assert!(!verdict(Semantics::Correct, "Ostrich"));
+
+    println!("\nfinal semantics: dick may be a Hawk or a Dove, but not an Ostrich — as §5.2 demands");
+
+    // A pure Quaker must be a Dove under the final rule.
+    let pure = store.create(&schema, &[quaker]);
+    store.set_attr(pure, opinion, Value::Tok(schema.sym("Hawk").unwrap()));
+    let opts = ValidationOptions::default();
+    let violations = validate_object(&schema, &store, opts, pure, &[quaker]);
+    println!("pure Quaker holding Hawk: {} violation(s)", violations.len());
+    assert_eq!(violations.len(), 1);
+}

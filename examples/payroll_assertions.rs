@@ -1,0 +1,88 @@
+//! Excusable integrity assertions (§2d + §6): "Employees earn less than
+//! their supervisors" — except executives, who are "supervised by members
+//! of the Board of Directors, who are not employees themselves" (§4.1).
+//!
+//! Run with `cargo run --example payroll_assertions`.
+
+use excuses::extent::{AssertionSet, ExtentStore};
+use excuses::model::Value;
+use excuses::sdl::compile;
+
+fn main() {
+    let schema = compile(
+        "
+        class Person with name: String; salary: Integer;
+        class Board_Member is-a Person;
+        class Employee is-a Person with supervisor: Person;
+        class Executive is-a Employee;
+        ",
+    )
+    .unwrap();
+    let employee = schema.class_by_name("Employee").unwrap();
+    let executive = schema.class_by_name("Executive").unwrap();
+    let board = schema.class_by_name("Board_Member").unwrap();
+    let name = schema.sym("name").unwrap();
+    let salary = schema.sym("salary").unwrap();
+    let supervisor = schema.sym("supervisor").unwrap();
+
+    let mut store = ExtentStore::new(&schema);
+    let person = |store: &mut ExtentStore, classes: &[_], n: &str, pay: i64| {
+        let o = store.create(&schema, classes);
+        store.set_attr(o, name, Value::str(n));
+        store.set_attr(o, salary, Value::Int(pay));
+        o
+    };
+    let director = person(&mut store, &[board], "Dagny (board)", 0);
+    let ceo = person(&mut store, &[executive], "Carol (CEO)", 500_000);
+    let manager = person(&mut store, &[employee], "Mel (manager)", 150_000);
+    let worker = person(&mut store, &[employee], "Wes (engineer)", 120_000);
+    store.set_attr(ceo, supervisor, Value::Obj(director));
+    store.set_attr(manager, supervisor, Value::Obj(ceo));
+    store.set_attr(worker, supervisor, Value::Obj(manager));
+
+    // The §2d assertion, attached to Employee and inherited by Executive…
+    let mut assertions = AssertionSet::new();
+    let earns_less = assertions.assert_on(
+        employee,
+        "earns-less-than-supervisor",
+        move |st, o| {
+            let Some(Value::Int(own)) = st.get_attr(o, salary) else { return false };
+            matches!(
+                st.follow(o, supervisor).and_then(|s| st.get_attr(s, salary).cloned()),
+                Some(Value::Int(sup)) if *own < sup
+            )
+        },
+    );
+    // …and the §4.1 excuse: executives answer to the board instead.
+    assertions.excuse_with(earns_less, executive, move |st, o| {
+        st.follow(o, supervisor).is_some_and(|s| st.is_member(s, board))
+    });
+
+    let offenders = assertions.validate_extent(&schema, &store, employee);
+    println!("offenders with the excuse in place: {}", offenders.len());
+    assert!(offenders.is_empty(), "CEO must be excused via the board substitute");
+
+    // Remove the excuse and the CEO (who out-earns the director) violates.
+    let mut strict = AssertionSet::new();
+    strict.assert_on(employee, "earns-less-than-supervisor", move |st, o| {
+        let Some(Value::Int(own)) = st.get_attr(o, salary) else { return false };
+        matches!(
+            st.follow(o, supervisor).and_then(|s| st.get_attr(s, salary).cloned()),
+            Some(Value::Int(sup)) if *own < sup
+        )
+    });
+    let offenders = strict.validate_extent(&schema, &store, employee);
+    for (oid, violations) in &offenders {
+        let who = store.get_attr(*oid, name).cloned();
+        println!("strict violation: {who:?} breaks {}", violations[0].name);
+    }
+    assert_eq!(offenders.len(), 1, "exactly the executive");
+
+    // A genuinely mispaid employee is caught either way.
+    let salary_sym = salary;
+    store.set_attr(worker, salary_sym, Value::Int(999_999));
+    let offenders = assertions.validate_extent(&schema, &store, employee);
+    println!("after Wes's raise: {} offender(s)", offenders.len());
+    assert_eq!(offenders.len(), 1);
+    assert_eq!(offenders[0].0, worker);
+}

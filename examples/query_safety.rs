@@ -1,0 +1,97 @@
+//! §5.4 end to end: type-checking queries, guard narrowing, and run-time
+//! check elimination, measured on a populated hospital database.
+//!
+//! Run with `cargo run --release --example query_safety`.
+
+use excuses::query::{compile, execute, CheckMode, Query};
+use excuses::types::TypeContext;
+use excuses::workloads::{build_hospital, HospitalParams};
+
+fn main() {
+    let db = build_hospital(&HospitalParams {
+        patients: 20_000,
+        tubercular_fraction: 0.05,
+        ..Default::default()
+    });
+    let ctx = TypeContext::with_virtuals(&db.virtualized);
+    let s = &db.virtualized.schema;
+
+    // The paper's safe query: every hospital address has a city.
+    let city_q = Query::over(db.ids.patient).emit(vec![
+        db.ids.treated_at,
+        db.ids.location,
+        db.ids.city,
+    ]);
+    let plan = compile(&ctx, &city_q, CheckMode::Eliminate).unwrap();
+    println!(
+        "p.treatedAt.location.city : {} warnings, {} checks/row",
+        plan.warnings.len(),
+        plan.checks_per_row()
+    );
+    let r = execute(&db.virtualized.schema, &db.store, &plan);
+    println!(
+        "  emitted {} rows, {} checks, {} failures",
+        r.stats.rows_emitted, r.stats.checks_executed, r.stats.unchecked_failures
+    );
+    assert_eq!(r.stats.checks_executed, 0);
+
+    // The unsafe query: Swiss addresses have no `state` field.
+    let state_q = Query::over(db.ids.patient).emit(vec![
+        db.ids.treated_at,
+        db.ids.location,
+        db.ids.state,
+    ]);
+    for (label, mode) in [
+        ("naive (check everything)", CheckMode::Always),
+        ("eliminate (type-guided) ", CheckMode::Eliminate),
+        ("unchecked (unsafe)      ", CheckMode::Never),
+    ] {
+        let plan = compile(&ctx, &state_q, mode).unwrap();
+        let r = execute(&db.virtualized.schema, &db.store, &plan);
+        println!(
+            "p.treatedAt.location.state [{label}]: {} checks, {} skipped-by-check, {} failures",
+            r.stats.checks_executed, r.stats.rows_skipped_by_check, r.stats.unchecked_failures
+        );
+        match mode {
+            CheckMode::Always => assert_eq!(r.stats.unchecked_failures, 0),
+            CheckMode::Eliminate => assert_eq!(r.stats.unchecked_failures, 0),
+            CheckMode::Never => assert!(r.stats.unchecked_failures > 0),
+        }
+    }
+
+    // The guard restores safety: `p not in Tubercular_Patient` lets the
+    // compiler prove no check is needed at all.
+    let guarded = Query::over(db.ids.patient)
+        .where_not_in(db.ids.tubercular)
+        .emit(vec![db.ids.treated_at, db.ids.location, db.ids.state]);
+    let plan = compile(&ctx, &guarded, CheckMode::Eliminate).unwrap();
+    let r = execute(&db.virtualized.schema, &db.store, &plan);
+    println!(
+        "guarded state query: {} checks/row, {} failures, {} rows",
+        plan.checks_per_row(),
+        r.stats.unchecked_failures,
+        r.stats.rows_emitted
+    );
+    assert_eq!(plan.checks_per_row(), 0);
+    assert_eq!(r.stats.unchecked_failures, 0);
+
+    // Branch narrowing: inside `p in Alcoholic` the static type of
+    // p.treatedBy is Psychologist; outside it is Physician.
+    let then_q = Query::over(db.ids.patient)
+        .where_in(db.ids.alcoholic)
+        .emit(vec![db.ids.treated_by]);
+    let plan = compile(&ctx, &then_q, CheckMode::Eliminate).unwrap();
+    assert!(plan.static_type.all_within_class(db.ids.psychologist));
+    let else_q = Query::over(db.ids.patient)
+        .where_not_in(db.ids.alcoholic)
+        .emit(vec![db.ids.treated_by]);
+    let plan = compile(&ctx, &else_q, CheckMode::Eliminate).unwrap();
+    assert!(plan.static_type.all_within_class(db.ids.physician));
+    println!("branch narrowing verified: Psychologist in then-branch, Physician in else-branch");
+
+    // A statically ill-typed query is rejected outright (§2a).
+    let person = s.class_by_name("Person").unwrap();
+    let bad = Query::over(person).emit(vec![db.ids.treated_by]);
+    let err = compile(&ctx, &bad, CheckMode::Eliminate).unwrap_err();
+    println!("Person.treatedBy rejected at compile time: {err:?}");
+}

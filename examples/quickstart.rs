@@ -1,0 +1,79 @@
+//! Quickstart: define a schema with a contradiction, watch the checker
+//! reject it, excuse it, and validate instances under the §5.2 semantics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use excuses::core::{check, MissingPolicy, Semantics, ValidationOptions};
+use excuses::extent::{validate_stored, ExtentStore};
+use excuses::model::Value;
+use excuses::sdl::compile;
+
+fn main() {
+    // 1. An over-generalization: patients are treated by physicians — but
+    //    alcoholics are treated by psychologists, who are not physicians.
+    let broken = compile(
+        "
+        class Person;
+        class Physician is-a Person;
+        class Psychologist is-a Person;
+        class Patient is-a Person with treatedBy: Physician;
+        class Alcoholic is-a Patient with treatedBy: Psychologist;
+        ",
+    )
+    .expect("parses");
+    let report = check(&broken);
+    println!("== unexcused schema ==");
+    println!("{}", report.render(&broken));
+    assert!(!report.is_ok(), "the checker must reject the contradiction");
+
+    // 2. Acknowledge the contradiction with an excuse (§5.1) and the
+    //    schema is accepted — Alcoholic remains a subclass AND a subtype.
+    let fixed = compile(
+        "
+        class Person;
+        class Physician is-a Person;
+        class Psychologist is-a Person;
+        class Patient is-a Person with treatedBy: Physician;
+        class Alcoholic is-a Patient with
+            treatedBy: Psychologist excuses treatedBy on Patient;
+        ",
+    )
+    .expect("parses");
+    let report = check(&fixed);
+    assert!(report.is_ok());
+    println!("\n== excused schema accepted ({} diagnostics) ==", report.diagnostics.len());
+
+    // 3. Populate a store and validate instances under the final §5.2
+    //    semantics: the excuse applies exactly to alcoholics, and does not
+    //    leak to ordinary patients.
+    let mut store = ExtentStore::new(&fixed);
+    let physician = store.create(&fixed, &[fixed.class_by_name("Physician").unwrap()]);
+    let psychologist = store.create(&fixed, &[fixed.class_by_name("Psychologist").unwrap()]);
+    let treated_by = fixed.sym("treatedBy").unwrap();
+
+    let alcoholic = store.create(&fixed, &[fixed.class_by_name("Alcoholic").unwrap()]);
+    store.set_attr(alcoholic, treated_by, Value::Obj(psychologist));
+
+    let ordinary = store.create(&fixed, &[fixed.class_by_name("Patient").unwrap()]);
+    store.set_attr(ordinary, treated_by, Value::Obj(psychologist));
+
+    let opts = ValidationOptions { semantics: Semantics::Correct, missing: MissingPolicy::Absent };
+    let ok = validate_stored(&fixed, &store, opts, alcoholic);
+    println!("\nalcoholic treated by psychologist: {} violations", ok.len());
+    assert!(ok.is_empty());
+
+    let bad = validate_stored(&fixed, &store, opts, ordinary);
+    println!("ordinary patient treated by psychologist: {} violation(s)", bad.len());
+    for v in &bad {
+        println!("  {}", v.render(&fixed));
+    }
+    assert_eq!(bad.len(), 1, "the excuse must not leak to non-alcoholics");
+
+    // 4. Extents: the alcoholic is still counted among the patients —
+    //    "the extent of an exceptional subclass should continue to be a
+    //    subset of its superclass' extent."
+    let patient = fixed.class_by_name("Patient").unwrap();
+    println!("\npatients in extent: {}", store.count(patient));
+    assert_eq!(store.count(patient), 2);
+    let _ = physician;
+}

@@ -1,0 +1,191 @@
+//! `chc` — a command-line front end for schemas with contradictions.
+//!
+//! ```text
+//! chc check <schema.sdl>                 type-check a schema (exit 1 on errors)
+//! chc print <schema.sdl>                 canonical pretty-printed form
+//! chc virtualize <schema.sdl>            show the §5.6 virtual classes
+//! chc explain <schema.sdl> <Class> [<attr>]
+//!                                        effective conditional types (§5.4)
+//! chc analyze <schema.sdl> "<query>"     static safety analysis of a query
+//! chc validate <schema.sdl> <data.chd>   load instance data and validate it
+//! ```
+
+use std::process::ExitCode;
+
+use excuses::core::{check, virtualize, MissingPolicy, Semantics, ValidationOptions};
+use excuses::extent::{load_data, refresh_virtual_extents, validate_stored};
+use excuses::query::{compile as compile_query, parse_query, CheckMode};
+use excuses::sdl::{compile, print_schema};
+use excuses::types::{
+    cond_of, render_cond, render_tyset, EntityFacts, TypeContext,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: chc <check|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
+    let cmd = args.first().ok_or(usage)?;
+    let path = args.get(1).ok_or(usage)?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let schema = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+
+    match cmd.as_str() {
+        "check" => {
+            let report = check(&schema);
+            if report.diagnostics.is_empty() {
+                println!(
+                    "{path}: {} classes, {} declarations — clean",
+                    schema.num_classes(),
+                    schema.num_attr_decls()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!("{}", report.render(&schema));
+            let errors = report.errors().count();
+            let warnings = report.warnings().count();
+            println!("{errors} error(s), {warnings} warning(s)");
+            Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "print" => {
+            print!("{}", print_schema(&schema));
+            Ok(ExitCode::SUCCESS)
+        }
+        "virtualize" => {
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            if v.virtuals.is_empty() {
+                println!("{path}: no embedded excuses; nothing to virtualize");
+                return Ok(ExitCode::SUCCESS);
+            }
+            for info in &v.virtuals {
+                let path_str: Vec<&str> =
+                    info.path.iter().map(|p| v.schema.resolve(*p)).collect();
+                println!(
+                    "virtual class {} is-a {} — extent = values of {} over {}",
+                    v.schema.class_name(info.class),
+                    v.schema.class_name(info.base),
+                    path_str.join("."),
+                    v.schema.class_name(info.root),
+                );
+            }
+            let report = check(&v.schema);
+            println!(
+                "virtualized schema: {} classes, {}",
+                v.schema.num_classes(),
+                if report.is_ok() { "clean" } else { "HAS ERRORS" }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let class_name = args.get(2).ok_or("explain needs a class name")?;
+            let class = schema
+                .class_by_name(class_name)
+                .ok_or_else(|| format!("unknown class `{class_name}`"))?;
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let ctx = TypeContext::with_virtuals(&v);
+            let schema = &v.schema;
+            let facts = EntityFacts::of_class(schema, class);
+            let attrs: Vec<_> = match args.get(3) {
+                Some(a) => {
+                    vec![schema.sym(a).ok_or_else(|| format!("unknown attribute `{a}`"))?]
+                }
+                None => schema.applicable_attrs(class).into_iter().collect(),
+            };
+            for attr in attrs {
+                // The subtype-theory view: the conditional type each
+                // declarer contributes…
+                for (declarer, _) in schema.constraints_on(class, attr) {
+                    if let Some(cond) = cond_of(schema, declarer, attr) {
+                        println!(
+                            "{} < [{} : {}]",
+                            schema.class_name(declarer),
+                            schema.resolve(attr),
+                            render_cond(schema, &cond)
+                        );
+                    }
+                }
+                // …and the deduced effective type for instances of the class.
+                match ctx.attr_type(&facts, attr) {
+                    Some(ty) => println!(
+                        "  {}.{} : {}",
+                        class_name,
+                        schema.resolve(attr),
+                        render_tyset(schema, &ty)
+                    ),
+                    None => println!(
+                        "  {}.{} : not applicable",
+                        class_name,
+                        schema.resolve(attr)
+                    ),
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "analyze" => {
+            let text = args.get(2).ok_or("analyze needs a query string")?;
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let ctx = TypeContext::with_virtuals(&v);
+            let query = parse_query(&v.schema, text).map_err(|e| e.to_string())?;
+            match compile_query(&ctx, &query, CheckMode::Eliminate) {
+                Ok(plan) => {
+                    println!("static type : {}", render_tyset(&v.schema, &plan.static_type));
+                    println!("checks/row  : {}", plan.checks_per_row());
+                    if plan.result_may_be_absent {
+                        println!("warning     : the result may be absent for some database states");
+                    }
+                    for h in &plan.warnings {
+                        println!("warning     : hazard at step {}: {:?}", h.step(), h);
+                    }
+                    if plan.warnings.is_empty() && !plan.result_may_be_absent {
+                        println!("safe        : no run-time type error can occur");
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(e) => {
+                    println!("type error  : {e:?}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "validate" => {
+            let data_path = args.get(2).ok_or("validate needs a data file")?;
+            let src =
+                std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+            let report = check(&schema);
+            if !report.is_ok() {
+                println!("{}", report.render(&schema));
+                return Err("schema has errors; fix it before validating data".to_string());
+            }
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let mut data = load_data(&v.schema, &src).map_err(|e| e.to_string())?;
+            refresh_virtual_extents(&mut data.store, &v);
+            let opts = ValidationOptions {
+                semantics: Semantics::Correct,
+                missing: MissingPolicy::Absent,
+            };
+            let mut bad = 0usize;
+            for (name, oid) in &data.names {
+                let violations = validate_stored(&v.schema, &data.store, opts, *oid);
+                for viol in &violations {
+                    println!("{name}: {}", viol.render(&v.schema));
+                }
+                bad += usize::from(!violations.is_empty());
+            }
+            println!(
+                "{} object(s), {} invalid",
+                data.names.len(),
+                bad
+            );
+            Ok(if bad == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}

@@ -1,0 +1,51 @@
+//! # excuses — Modeling Class Hierarchies with Contradictions
+//!
+//! A Rust implementation of Alexander Borgida's SIGMOD 1988 paper
+//! *Modeling Class Hierarchies with Contradictions*: class hierarchies in
+//! which a subclass may explicitly contradict ("excuse") constraints
+//! inherited from its superclasses, while remaining both a sub*set* and a
+//! sub*type* of them.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`model`] — classes, ranges, excuses, schemas.
+//! * [`sdl`] — the schema definition language (`class Alcoholic is-a
+//!   Patient with treatedBy: Psychologist excuses treatedBy on Patient`).
+//! * [`core`] — the checker, the §5.2 semantics, instance validation,
+//!   virtual-class synthesis, schema evolution.
+//! * [`types`] — conditional types, subtyping, narrowing, path safety.
+//! * [`extent`] — object stores with automatic subset maintenance.
+//! * [`query`] — typed queries with run-time check elimination.
+//! * [`storage`] — semantic grouping and horizontal partitioning.
+//! * [`baselines`] — the rejected alternatives of §4.2, for comparison.
+//! * [`workloads`] — deterministic generators for the experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use excuses::sdl::compile;
+//! use excuses::core::check;
+//!
+//! let schema = compile("
+//!     class Physician;
+//!     class Psychologist;
+//!     class Patient with treatedBy: Physician;
+//!     class Alcoholic is-a Patient with
+//!         treatedBy: Psychologist excuses treatedBy on Patient;
+//! ").unwrap();
+//! let report = check(&schema);
+//! assert!(report.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use chc_baselines as baselines;
+pub use chc_core as core;
+pub use chc_extent as extent;
+pub use chc_model as model;
+pub use chc_query as query;
+pub use chc_sdl as sdl;
+pub use chc_storage as storage;
+pub use chc_types as types;
+pub use chc_workloads as workloads;

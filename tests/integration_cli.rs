@@ -1,0 +1,159 @@
+//! End-to-end tests of the `chc` command-line front end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_schema(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("chc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn chc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chc"))
+        .args(args)
+        .output()
+        .expect("chc runs")
+}
+
+const CLEAN: &str = "
+class Physician;
+class Psychologist;
+class Patient with treatedBy: Physician;
+class Alcoholic is-a Patient with
+    treatedBy: Psychologist excuses treatedBy on Patient;
+";
+
+const BROKEN: &str = "
+class Physician;
+class Psychologist;
+class Patient with treatedBy: Physician;
+class Alcoholic is-a Patient with treatedBy: Psychologist;
+";
+
+#[test]
+fn check_clean_schema_exits_zero() {
+    let path = write_schema("clean.sdl", CLEAN);
+    let out = chc(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn check_broken_schema_exits_nonzero_and_names_the_site() {
+    let path = write_schema("broken.sdl", BROKEN);
+    let out = chc(&["check", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Alcoholic.treatedBy"), "{stdout}");
+    assert!(stdout.contains("excuses treatedBy on Patient"), "{stdout}");
+}
+
+#[test]
+fn print_emits_reparsable_canonical_form() {
+    let path = write_schema("print.sdl", CLEAN);
+    let out = chc(&["print", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let reprinted = write_schema("print2.sdl", &text);
+    let out2 = chc(&["print", reprinted.to_str().unwrap()]);
+    assert_eq!(text, String::from_utf8_lossy(&out2.stdout));
+}
+
+#[test]
+fn explain_prints_the_conditional_type() {
+    let path = write_schema("explain.sdl", CLEAN);
+    let out = chc(&["explain", path.to_str().unwrap(), "Patient", "treatedBy"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Physician + Psychologist/Alcoholic"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn analyze_flags_unsafe_and_accepts_guarded() {
+    let hospital = write_schema(
+        "analyze.sdl",
+        "
+        class Address with city: String; state: {'NJ};
+        class Hospital with location: Address;
+        class Patient with treatedAt: Hospital;
+        class Tubercular_Patient is-a Patient with
+            treatedAt: Hospital [
+                location: Address [
+                    state: None excuses state on Address
+                ]
+            ];
+        ",
+    );
+    let out = chc(&[
+        "analyze",
+        hospital.to_str().unwrap(),
+        "for p in Patient emit p.treatedAt.location.state",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("may be absent"), "{stdout}");
+
+    let out = chc(&[
+        "analyze",
+        hospital.to_str().unwrap(),
+        "for p in Patient where p not in Tubercular_Patient emit p.treatedAt.location.state",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("safe"), "{stdout}");
+}
+
+#[test]
+fn analyze_rejects_ill_typed_queries() {
+    let path = write_schema("illtyped.sdl", CLEAN);
+    let out = chc(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "for p in Physician emit p.treatedBy",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("type error"));
+}
+
+#[test]
+fn bad_usage_and_bad_files_fail_cleanly() {
+    let out = chc(&["frobnicate", "/nonexistent"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = chc(&["check", "/nonexistent.sdl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let bad = write_schema("syntax.sdl", "class A with x 1..2");
+    let out = chc(&["check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected"));
+}
+
+#[test]
+fn validate_loads_data_and_judges_it() {
+    let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
+    let data = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.chd");
+    let out = chc(&["validate", schema.to_str().unwrap(), data.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("0 invalid"), "{stdout}");
+
+    // Break the data: a plain patient treated by the psychologist.
+    let bad = write_schema(
+        "bad.chd",
+        r#"
+        paul : Psychologist { name = "Paul", age = 44 }
+        bern : Address { street = "Main", city = "Bern", state = 'NJ }
+        gen  : Hospital { accreditation = 'Federal, location = @bern }
+        ann  : Patient { name = "Ann", age = 30, treatedBy = @paul, treatedAt = @gen }
+        "#,
+    );
+    let out = chc(&["validate", schema.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ann:"), "{stdout}");
+    assert!(stdout.contains("Patient.treatedBy"), "{stdout}");
+}

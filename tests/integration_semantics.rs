@@ -1,0 +1,247 @@
+//! The §5.2 semantics ladder, run as an acceptance matrix over the
+//! paper's vignettes (experiment E7's logic, asserted as tests), plus the
+//! desiderata list of §5 checked one by one.
+
+use excuses::baselines::{default_range, DefaultError};
+use excuses::core::{
+    check, evolve, validate_object, MissingPolicy, Semantics, ValidationOptions,
+};
+use excuses::extent::ExtentStore;
+use excuses::model::{Range, Schema, Value};
+use excuses::sdl::compile;
+use excuses::workloads::vignettes;
+
+/// Open-world acceptance: only the attributes the test actually set are
+/// checked (the vignettes populate one attribute at a time).
+fn accepts(schema: &Schema, store: &ExtentStore, sem: Semantics, oid: excuses::model::Oid) -> bool {
+    let opts = ValidationOptions { semantics: sem, missing: MissingPolicy::Vacuous };
+    validate_object(schema, store, opts, oid, &store.classes_of(oid)).is_empty()
+}
+
+/// Closed-world acceptance: a missing attribute is Absent.
+fn accepts_closed(
+    schema: &Schema,
+    store: &ExtentStore,
+    sem: Semantics,
+    oid: excuses::model::Oid,
+) -> bool {
+    let opts = ValidationOptions { semantics: sem, missing: MissingPolicy::Absent };
+    validate_object(schema, store, opts, oid, &store.classes_of(oid)).is_empty()
+}
+
+#[test]
+fn alcoholic_matrix_matches_the_paper() {
+    // §5.2's first rejected rule (Broadened) "permits even non-alcoholic
+    // patients to be treated by psychologists"; the final rule does not.
+    let schema = vignettes::compiled(vignettes::HOSPITAL);
+    let mut store = ExtentStore::new(&schema);
+    let psych = store.create(&schema, &[schema.class_by_name("Psychologist").unwrap()]);
+    let treated_by = schema.sym("treatedBy").unwrap();
+    let plain = store.create(&schema, &[schema.class_by_name("Patient").unwrap()]);
+    store.set_attr(plain, treated_by, Value::Obj(psych));
+
+    assert!(!accepts(&schema, &store, Semantics::Strict, plain));
+    assert!(accepts(&schema, &store, Semantics::Broadened, plain), "the leak");
+    assert!(!accepts(&schema, &store, Semantics::Correct, plain), "no leak");
+
+    let alc = store.create(&schema, &[schema.class_by_name("Alcoholic").unwrap()]);
+    store.set_attr(alc, treated_by, Value::Obj(psych));
+    assert!(!accepts(&schema, &store, Semantics::Strict, alc));
+    assert!(accepts(&schema, &store, Semantics::Correct, alc));
+}
+
+#[test]
+fn blood_pressure_policy_is_one_sided() {
+    // Hemorrhage overrides renal failure: a patient with both may have low
+    // blood pressure; high blood pressure violates the hemorrhaging
+    // class's own constraint (which nothing excuses).
+    let schema = vignettes::compiled(vignettes::BLOOD_PRESSURE);
+    let renal = schema.class_by_name("Renal_Failure_Patient").unwrap();
+    let hem = schema.class_by_name("Hemorrhaging_Patient").unwrap();
+    let bp = schema.sym("bloodPressure").unwrap();
+    let mut store = ExtentStore::new(&schema);
+    let both = store.create(&schema, &[renal, hem]);
+
+    store.set_attr(both, bp, Value::Int(70)); // low
+    assert!(accepts(&schema, &store, Semantics::Correct, both));
+    store.set_attr(both, bp, Value::Int(180)); // high
+    assert!(!accepts(&schema, &store, Semantics::Correct, both));
+    store.set_attr(both, bp, Value::Int(110)); // neither
+    assert!(!accepts(&schema, &store, Semantics::Correct, both));
+
+    // A renal-failure-only patient must have high blood pressure.
+    let renal_only = store.create(&schema, &[renal]);
+    store.set_attr(renal_only, bp, Value::Int(180));
+    assert!(accepts(&schema, &store, Semantics::Correct, renal_only));
+    store.set_attr(renal_only, bp, Value::Int(70));
+    assert!(!accepts(&schema, &store, Semantics::Correct, renal_only));
+}
+
+#[test]
+fn birds_penguins_and_ostriches() {
+    let schema = vignettes::compiled(vignettes::BIRDS);
+    let bird = schema.class_by_name("Bird").unwrap();
+    let penguin = schema.class_by_name("Penguin").unwrap();
+    let sparrow = schema.class_by_name("Sparrow").unwrap();
+    let locomotion = schema.sym("locomotion").unwrap();
+    let flies = schema.sym("Flies").unwrap();
+    let swims = schema.sym("Swims").unwrap();
+    let mut store = ExtentStore::new(&schema);
+
+    let tweety = store.create(&schema, &[sparrow]);
+    store.set_attr(tweety, locomotion, Value::Tok(flies));
+    assert!(accepts(&schema, &store, Semantics::Correct, tweety));
+    store.set_attr(tweety, locomotion, Value::Tok(swims));
+    assert!(!accepts(&schema, &store, Semantics::Correct, tweety));
+
+    let pingu = store.create(&schema, &[penguin]);
+    store.set_attr(pingu, locomotion, Value::Tok(swims));
+    assert!(accepts(&schema, &store, Semantics::Correct, pingu));
+    // Penguins are still birds: extent inclusion.
+    assert!(store.is_member(pingu, bird));
+    assert_eq!(store.count(bird), 2);
+}
+
+#[test]
+fn temporary_employees_have_no_salary() {
+    let schema = vignettes::compiled(vignettes::TEMPORARY_EMPLOYEES);
+    let employee = schema.class_by_name("Employee").unwrap();
+    let temp = schema.class_by_name("Temporary_Employee").unwrap();
+    let salary = schema.sym("salary").unwrap();
+    let lump = schema.sym("lumpSum").unwrap();
+    let mut store = ExtentStore::new(&schema);
+
+    let perm = store.create(&schema, &[employee]);
+    store.set_attr(perm, salary, Value::Int(50_000));
+    assert!(accepts(&schema, &store, Semantics::Correct, perm));
+
+    let contractor = store.create(&schema, &[temp]);
+    store.set_attr(contractor, lump, Value::Int(10_000));
+    // No salary set: Absent satisfies the excused constraint.
+    assert!(accepts_closed(&schema, &store, Semantics::Correct, contractor));
+    // Giving a temporary employee a salary violates *their* None range.
+    store.set_attr(contractor, salary, Value::Int(1));
+    assert!(!accepts_closed(&schema, &store, Semantics::Correct, contractor));
+
+    // A permanent employee with no salary is invalid (closed world).
+    let slacker = store.create(&schema, &[employee]);
+    store.set_attr(slacker, lump, Value::Int(0));
+    assert!(!accepts_closed(&schema, &store, Semantics::Correct, slacker));
+}
+
+#[test]
+fn desideratum_verifiability_vs_default_inheritance() {
+    // The same over-generalized schema: excuses reject, defaults absorb.
+    let src = "
+        class Physician;
+        class Psychologist;
+        class Patient with treatedBy: Physician;
+        class Alcoholic is-a Patient with treatedBy: Psychologist;
+    ";
+    let schema = compile(src).unwrap();
+    assert!(!check(&schema).is_ok(), "excuses checker detects the contradiction");
+    let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+    let treated_by = schema.sym("treatedBy").unwrap();
+    assert!(
+        default_range(&schema, alcoholic, treated_by).is_ok(),
+        "default inheritance silently absorbs it"
+    );
+}
+
+#[test]
+fn desideratum_semantics_on_non_tree_hierarchies() {
+    // Default inheritance is ill-defined on the diamond; excuses are not.
+    let src = "
+        class Person;
+        class Quaker is-a Person with opinion: {'Dove} excuses opinion on Republican;
+        class Republican is-a Person with opinion: {'Hawk} excuses opinion on Quaker;
+        class Dick is-a Quaker, Republican;
+    ";
+    let schema = compile(src).unwrap();
+    assert!(check(&schema).is_ok(), "excuses handle the DAG");
+    let dick = schema.class_by_name("Dick").unwrap();
+    let opinion = schema.sym("opinion").unwrap();
+    assert!(matches!(
+        default_range(&schema, dick, opinion),
+        Err(DefaultError::Ambiguous { .. })
+    ));
+}
+
+#[test]
+fn desideratum_locality_no_upstream_edits() {
+    // Adding an exceptional subclass changes no existing declaration.
+    let schema = vignettes::compiled(vignettes::HOSPITAL);
+    let patient = schema.class_by_name("Patient").unwrap();
+    let psychologist = schema.class_by_name("Psychologist").unwrap();
+    let treated_by = schema.sym("treatedBy").unwrap();
+    let evolved = evolve::add_subclass(
+        &schema,
+        "Hypochondriac",
+        &[patient],
+        &[(
+            "treatedBy",
+            excuses::model::AttrSpec::plain(Range::Class(psychologist))
+                .excusing(treated_by, patient),
+        )],
+    )
+    .unwrap();
+    assert!(evolved.report.is_ok());
+    // Every pre-existing class's declarations are bit-identical.
+    for class in schema.class_ids() {
+        assert_eq!(
+            schema.class(class).attrs,
+            evolved.schema.class(class).attrs,
+            "{} was modified",
+            schema.class_name(class)
+        );
+    }
+}
+
+#[test]
+fn desideratum_minimality_no_extra_classes() {
+    // Excuses: 0 extra classes. Anchors: 2^k − 1 + 1. Reconciliation: a
+    // generalized superclass (here modeled as range widening, 0 classes
+    // but k·siblings restatements).
+    let schema = compile(
+        "
+        class GP; class P is-a GP;
+        class GQ; class Q is-a GQ;
+        class C with p: P; q: Q;
+        class Sub1 is-a C; class Sub2 is-a C;
+        ",
+    )
+    .unwrap();
+    let c = schema.class_by_name("C").unwrap();
+    let p = schema.sym("p").unwrap();
+    let q = schema.sym("q").unwrap();
+    let gp = schema.class_by_name("GP").unwrap();
+    let gq = schema.class_by_name("GQ").unwrap();
+
+    // Excuses route: one new class (the exceptional subclass itself, which
+    // the designer wanted anyway) and zero technical classes.
+    let excused = evolve::add_subclass(
+        &schema,
+        "Odd",
+        &[c],
+        &[
+            ("p", excuses::model::AttrSpec::plain(Range::Class(gp)).excusing(p, c)),
+            ("q", excuses::model::AttrSpec::plain(Range::Class(gq)).excusing(q, c)),
+        ],
+    )
+    .unwrap();
+    assert!(excused.report.is_ok());
+    assert_eq!(excused.schema.num_classes(), schema.num_classes() + 1);
+
+    // Anchor route: 2^2 − 1 technical classes plus C0.
+    let lattice = excuses::baselines::build_anchor_lattice(
+        &schema,
+        c,
+        &[(p, Range::Class(gp)), (q, Range::Class(gq))],
+    )
+    .unwrap();
+    assert_eq!(lattice.classes_added, 4);
+
+    // Reconciliation route: restates on both unrelated siblings.
+    let (_, cost) = excuses::baselines::reconcile(&schema, c, p, Range::Class(gp)).unwrap();
+    assert_eq!(cost.constraints_restated, 2);
+}
