@@ -51,6 +51,7 @@ pub fn default_range(
     visited[class.index()] = true;
     let mut found: Option<(usize, ClassId, &Range)> = None;
     while let Some((c, dist)) = queue.pop_front() {
+        chc_obs::counter(chc_obs::names::BASELINE_SEARCH_STEPS, 1);
         if let Some((fdist, ..)) = found {
             if dist > fdist {
                 // All nearest declarations collected; done.

@@ -4,7 +4,8 @@
 //! The series should scale near-linearly in the number of declarations
 //! (each declaration is checked against its ancestors' constraints).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use chc_bench::{criterion_group, criterion_main};
+use chc_bench::harness::{BenchmarkId, Criterion, Throughput};
 
 use chc_bench::{sized_schema, SCHEMA_SIZES};
 use chc_core::check;

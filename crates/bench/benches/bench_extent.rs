@@ -6,7 +6,8 @@
 //! evolution*, which the report binary quantifies — this bench shows the
 //! safety is not bought with a slowdown.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use chc_bench::{criterion_group, criterion_main};
+use chc_bench::harness::{BenchmarkId, Criterion, Throughput};
 
 use chc_baselines::ManualSetStore;
 use chc_bench::chain_schema;

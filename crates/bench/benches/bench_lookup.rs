@@ -6,7 +6,8 @@
 //! excuse index; depth is irrelevant ("the proposed approach does not
 //! utilize in any form the topology of the inheritance hierarchy").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chc_bench::{criterion_group, criterion_main};
+use chc_bench::harness::{BenchmarkId, Criterion};
 
 use chc_baselines::default_range;
 use chc_bench::{chain_schema, CHAIN_DEPTHS};

@@ -7,7 +7,8 @@
 //! exceptional fractions ε — plus the guarded query whose checks vanish
 //! entirely.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chc_bench::{criterion_group, criterion_main};
+use chc_bench::harness::{BenchmarkId, Criterion};
 
 use chc_query::{compile, execute, CheckMode, Query};
 use chc_types::TypeContext;

@@ -7,7 +7,8 @@
 //! partitioned with blind scan, partitioned with type-guided search, and
 //! the perfect-directory lower bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chc_bench::{criterion_group, criterion_main};
+use chc_bench::harness::{BenchmarkId, Criterion};
 
 use chc_storage::{PartitionedStore, VariantStore};
 use chc_workloads::{build_hospital, HospitalParams};

@@ -5,7 +5,8 @@
 //! schema precomputation, and negative deduction as the schema grows; the
 //! report binary fits the scaling exponent.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chc_bench::{criterion_group, criterion_main};
+use chc_bench::harness::{BenchmarkId, Criterion};
 
 use chc_bench::{sized_schema, SCHEMA_SIZES};
 use chc_model::ClassId;

@@ -6,11 +6,21 @@
 //! ```
 //!
 //! The output of this binary is the source of EXPERIMENTS.md's measured
-//! columns. Criterion benches (cargo bench) cover the wall-clock figures
+//! columns. The bench harness (cargo bench) covers the wall-clock figures
 //! with statistical rigor; this binary favors breadth and one-shot
 //! reproducibility.
+//!
+//! Work-count columns (checks executed, fragment probes, search steps, …)
+//! are pulled from a scoped [`chc_obs::StatsRecorder`] rather than
+//! hand-threaded return values, so the report measures exactly what the
+//! `chc --stats` flag shows. Timing loops run *without* a recorder
+//! installed — the disabled fast path is what they measure.
 
+use std::sync::Arc;
 use std::time::Instant;
+
+use chc_obs::names;
+use chc_obs::StatsRecorder;
 
 use chc_baselines::{
     build_anchor_lattice, default_range, polymorphism_preserved, reconcile, DefaultError,
@@ -78,21 +88,37 @@ fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() * 1e6 / iters as f64
 }
 
+/// Runs `f` with a fresh scoped recorder installed, returning its value
+/// and the recorder with the counters `f` produced.
+fn recorded<T>(f: impl FnOnce() -> T) -> (T, Arc<StatsRecorder>) {
+    let rec = Arc::new(StatsRecorder::new());
+    let out = {
+        let _guard = chc_obs::scoped(rec.clone());
+        f()
+    };
+    (out, rec)
+}
+
 fn e1() {
     println!("## E1 — verifiability: checking cost and fault detection\n");
-    println!("| classes | attr decls | check time (µs) | seeded faults | precision | recall |");
-    println!("|--------:|-----------:|----------------:|--------------:|----------:|-------:|");
+    println!("| classes | attr decls | check time (µs) | joint-sat calls | subtype queries | seeded faults | precision | recall |");
+    println!("|--------:|-----------:|----------------:|----------------:|----------------:|--------------:|----------:|-------:|");
     for &n in &SCHEMA_SIZES {
         let gen = generate(&HierarchyParams { classes: n, seed: 0xE1 + n as u64, ..Default::default() });
         let iters = (2000 / n).max(3);
         let us = time_us(iters, || {
             assert!(check(&gen.schema).is_ok());
         });
+        // One instrumented run gives the checker's work profile.
+        let (_, rec) = recorded(|| assert!(check(&gen.schema).is_ok()));
+        assert_eq!(rec.counter_value(names::CHECK_CLASSES), n as u64);
+        let joint_sat = rec.counter_value(names::CHECK_JOINT_SAT_CALLS);
+        let subtype_queries = rec.counter_value(names::SUBTYPE_QUERIES);
         let faults = gen.excused_sites.len().min(10);
         let (mutated, truth) = seed_contradictions(&gen, faults, 7);
         let (precision, recall) = detection_score(&mutated, &truth);
         println!(
-            "| {n} | {} | {us:.1} | {} | {precision:.2} | {recall:.2} |",
+            "| {n} | {} | {us:.1} | {joint_sat} | {subtype_queries} | {} | {precision:.2} | {recall:.2} |",
             gen.schema.num_attr_decls(),
             truth.len(),
         );
@@ -184,8 +210,8 @@ fn e2() {
 
 fn e3() {
     println!("## E3 — lookup: default-inheritance search vs. precomputed excuse types\n");
-    println!("| depth | default search (ns) | cached effective type (ns) | universal-property scan (classes visited) |");
-    println!("|------:|--------------------:|---------------------------:|------------------------------------------:|");
+    println!("| depth | default search (ns) | search steps/lookup | cached effective type (ns) | cache hit | universal-property scan (classes visited) |");
+    println!("|------:|--------------------:|--------------------:|---------------------------:|:---|------------------------------------------:|");
     for &d in &CHAIN_DEPTHS {
         let schema = chain_schema(d);
         let mid = ClassId::from_raw((d as u32).saturating_sub(2));
@@ -194,16 +220,29 @@ fn e3() {
             time_us(20_000.min(2_000_000 / d), || {
                 let _ = default_range(&schema, mid, attr);
             }) * 1e3;
+        // Per-lookup work: BFS steps up the chain vs. one cache probe.
+        let (_, rec) = recorded(|| {
+            let _ = default_range(&schema, mid, attr);
+        });
+        let steps = rec.counter_value(names::BASELINE_SEARCH_STEPS);
         let ctx = TypeContext::new(&schema);
         let cache = ctx.precompute();
         let cached_ns = time_us(200_000, || {
             let _ = cache.get(mid, attr);
         }) * 1e3;
+        let (_, rec) = recorded(|| {
+            let _ = cache.get(mid, attr);
+        });
+        let hit = rec.counter_value(names::TYPECACHE_HITS) == 1
+            && rec.counter_value(names::TYPECACHE_MISSES) == 0;
         let t0 = schema.sym("t0").unwrap();
         let expected = Range::enumeration([t0]).unwrap();
         let (_, visited) =
             chc_baselines::universally_true(&schema, ClassId::from_raw(0), attr, &expected);
-        println!("| {d} | {default_ns:.0} | {cached_ns:.0} | {visited} |");
+        println!(
+            "| {d} | {default_ns:.0} | {steps} | {cached_ns:.0} | {} | {visited} |",
+            if hit { "yes" } else { "no" },
+        );
     }
     println!("\nThe default-search column grows with depth; the cached column is flat — \"the proposed approach does not utilize in any form the topology of the inheritance hierarchy\" (§5.3).\n");
 }
@@ -211,8 +250,8 @@ fn e3() {
 fn e4() {
     println!("## E4 — run-time check elimination in queries\n");
     println!("Query: `for p in Patient emit p.treatedAt.location.state` over 10 000 patients.\n");
-    println!("| ε (exceptional) | checks/row naive | checks/row eliminate | time naive (µs) | time eliminate (µs) | speedup | unchecked failures @ never |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|");
+    println!("| ε (exceptional) | checks/row naive | checks/row eliminate | checks executed naive | checks executed eliminate | checks eliminated | time naive (µs) | time eliminate (µs) | speedup | unchecked failures @ never |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
     for &eps in &EPSILONS {
         let db = build_hospital(&HospitalParams {
             patients: 10_000,
@@ -230,6 +269,17 @@ fn e4() {
         let naive = compile_query(&ctx, &q, CheckMode::Always).unwrap();
         let elim = compile_query(&ctx, &q, CheckMode::Eliminate).unwrap();
         let never = compile_query(&ctx, &q, CheckMode::Never).unwrap();
+        // Work counts come from the recorder; the per-result ExecStats must
+        // agree with it exactly, or the instrumentation has drifted.
+        let (res_naive, rec_naive) =
+            recorded(|| execute(&db.virtualized.schema, &db.store, &naive));
+        let checks_naive = rec_naive.counter_value(names::QUERY_CHECKS_EXECUTED);
+        assert_eq!(checks_naive, res_naive.stats.checks_executed as u64);
+        let (res_elim, rec_elim) =
+            recorded(|| execute(&db.virtualized.schema, &db.store, &elim));
+        let checks_elim = rec_elim.counter_value(names::QUERY_CHECKS_EXECUTED);
+        assert_eq!(checks_elim, res_elim.stats.checks_executed as u64);
+        let eliminated = rec_elim.counter_value(names::QUERY_CHECKS_ELIMINATED);
         let t_naive = time_us(15, || {
             execute(&db.virtualized.schema, &db.store, &naive);
         });
@@ -238,7 +288,7 @@ fn e4() {
         });
         let failures = execute(&db.virtualized.schema, &db.store, &never).stats.unchecked_failures;
         println!(
-            "| {eps:.2} | {} | {} | {t_naive:.0} | {t_elim:.0} | {:.2}× | {failures} |",
+            "| {eps:.2} | {} | {} | {checks_naive} | {checks_elim} | {eliminated} | {t_naive:.0} | {t_elim:.0} | {:.2}× | {failures} |",
             naive.checks_per_row(),
             elim.checks_per_row(),
             t_naive / t_elim,
@@ -315,8 +365,8 @@ fn e5() {
 fn e6() {
     println!("## E6 — storage: partitioning and type-guided fragment search\n");
     println!("20 000 patients; fetch `age` for every 3rd patient.\n");
-    println!("| ε | fragments | bytes partitioned | bytes variant | probes scan | probes guided | probes directory | fetch scan (ns) | fetch guided (ns) | fetch variant (ns) |");
-    println!("|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|");
+    println!("| ε | fragments | bytes partitioned | bytes variant | probes scan | probes guided | skipped guided | probes directory | fetch scan (ns) | fetch guided (ns) | fetch variant (ns) |");
+    println!("|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|--:|");
     for &eps in &EPSILONS {
         let db = build_hospital(&HospitalParams {
             patients: 20_000,
@@ -341,12 +391,26 @@ fn e6() {
             })
             .collect();
         let attr = db.ids.age;
-        let (mut ps, mut pg, mut pd) = (0usize, 0usize, 0usize);
-        for (i, &p) in sample.iter().enumerate() {
-            ps += part.fetch_scan(p, attr).probes;
-            pg += part.fetch_guided(p, attr, &[], &known_not[i]).probes;
-            pd += part.fetch_directory(p, attr).probes;
-        }
+        // Probe counts come from the recorder, per fetch strategy.
+        let (_, rec) = recorded(|| {
+            for &p in &sample {
+                part.fetch_scan(p, attr);
+            }
+        });
+        let ps = rec.counter_value(names::STORAGE_FRAGMENTS_PROBED);
+        let (_, rec) = recorded(|| {
+            for (i, &p) in sample.iter().enumerate() {
+                part.fetch_guided(p, attr, &[], &known_not[i]);
+            }
+        });
+        let pg = rec.counter_value(names::STORAGE_FRAGMENTS_PROBED);
+        let skipped = rec.counter_value(names::STORAGE_FRAGMENTS_SKIPPED);
+        let (_, rec) = recorded(|| {
+            for &p in &sample {
+                part.fetch_directory(p, attr);
+            }
+        });
+        let pd = rec.counter_value(names::STORAGE_FRAGMENTS_PROBED);
         let n = sample.len() as f64;
         let mut i = 0usize;
         let t_scan = time_us(50_000, || {
@@ -364,12 +428,13 @@ fn e6() {
             let _ = variant.fetch(sample[k], attr);
         }) * 1e3;
         println!(
-            "| {eps:.2} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {t_scan:.0} | {t_guided:.0} | {t_variant:.0} |",
+            "| {eps:.2} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {t_scan:.0} | {t_guided:.0} | {t_variant:.0} |",
             part.num_fragments(),
             part.byte_len(),
             variant.byte_len(),
             ps as f64 / n,
             pg as f64 / n,
+            skipped as f64 / n,
             pd as f64 / n,
         );
     }

@@ -1,0 +1,222 @@
+//! A minimal benchmark harness with a Criterion-shaped surface.
+//!
+//! The offline build cannot pull Criterion, so the `[[bench]]` targets
+//! (which keep `harness = false`) run on this ~100-line stand-in: warm
+//! up, run timed batches until the measurement budget is spent, and
+//! report the median batch time per iteration. It is good enough to
+//! spot the order-of-magnitude effects the experiments are about
+//! (O(depth) vs. O(1) lookups, ε-scaling); EXPERIMENTS.md tables come
+//! from the `report` binary, not from here.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+/// Collects and prints one benchmark group, Criterion-style:
+/// `group/param   time: [median per iter]`.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Group {
+    /// Number of timed samples to collect (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Total measurement budget per benchmark (default 2s).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark (default 500ms).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in the group. `routine` receives a [`Bencher`];
+    /// call [`Bencher::iter`] with the code under test.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, routine: impl FnMut(&mut Bencher)) {
+        self.run(id.to_string(), routine);
+    }
+
+    /// Criterion-compatible spelling: the input is already in scope for
+    /// the closure; we simply pass it through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| routine(b, input));
+    }
+
+    fn run(&mut self, id: String, mut routine: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: find an iteration count giving batches of ≥200µs so
+        // Instant overhead is negligible.
+        loop {
+            routine(&mut b);
+            if b.elapsed >= Duration::from_micros(200) || b.iters >= 1 << 30 {
+                break;
+            }
+            b.iters *= 4;
+        }
+        // Warm up.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            routine(&mut b);
+        }
+        // Measure.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement;
+        while samples.len() < self.sample_size {
+            routine(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            if Instant::now() > deadline && samples.len() >= 3 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        println!("{}/{:<24} time: [{}]", self.name, id, fmt_ns(median));
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op kept for
+    /// Criterion source compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark routines; times the closure given to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it in calibrated batches.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            bb(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Entry point holding the shared defaults; mirrors `Criterion`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs a single ungrouped benchmark with the default settings.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, routine: impl FnMut(&mut Bencher)) {
+        self.benchmark_group(id.to_string()).bench_function("", routine);
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("-- {name} --");
+        Group {
+            name,
+            sample_size: 20,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Benchmark label shim matching Criterion's `BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label from a parameter value alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Label from a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Throughput declaration shim; accepted and ignored (the harness
+/// reports per-iteration time only).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Group {
+    /// Accepts a throughput declaration for source compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+}
+
+/// Declares a bench group function, Criterion-macro-compatible:
+/// `criterion_group!(benches, fn_a, fn_b)` defines `fn benches()` that
+/// runs each function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($name:ident),+ $(,)?) => {
+        fn main() {
+            // `--bench` is passed by cargo; filters are ignored.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $name(); )+
+        }
+    };
+}

@@ -1,12 +1,15 @@
 //! # chc-bench — shared fixtures for the experiment harness
 //!
-//! The Criterion benches (one per experiment figure) and the `report`
-//! binary (one section per experiment table) share the fixture builders
-//! here. See EXPERIMENTS.md at the workspace root for the experiment
-//! index and DESIGN.md for the claim each experiment operationalizes.
+//! The benches (one per experiment figure, on the in-tree [`harness`])
+//! and the `report` binary (one section per experiment table) share the
+//! fixture builders here. See EXPERIMENTS.md at the workspace root for
+//! the experiment index and DESIGN.md for the claim each experiment
+//! operationalizes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use chc_model::Schema;
 use chc_workloads::{generate, HierarchyParams};

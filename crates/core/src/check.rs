@@ -41,6 +41,7 @@ use crate::diagnostics::{CheckReport, DiagKind, Diagnostic, Severity};
 /// assert!(check(&fixed).is_ok());
 /// ```
 pub fn check(schema: &Schema) -> CheckReport {
+    let _span = chc_obs::span(chc_obs::names::SPAN_CHECK_SCHEMA);
     let mut report = CheckReport::default();
     for class in schema.class_ids() {
         check_class(schema, class, &mut report);
@@ -52,6 +53,7 @@ pub fn check(schema: &Schema) -> CheckReport {
 /// local edit only the touched class and its descendants need rechecking —
 /// the *locality* desideratum of §5).
 pub fn check_class(schema: &Schema, class: ClassId, report: &mut CheckReport) {
+    chc_obs::counter(chc_obs::names::CHECK_CLASSES, 1);
     // Part 1: each locally declared attribute vs. each inherited constraint.
     for decl in &schema.class(class).attrs {
         check_declaration(schema, class, decl.name, report);
@@ -85,6 +87,9 @@ fn check_declaration(schema: &Schema, class: ClassId, attr: Sym, report: &mut Ch
         let contradiction = !r_range.subsumes(schema, s_range);
         let has_local_excuse = spec.excuses.iter().any(|e| e.on == ancestor && e.attr == attr);
 
+        if contradiction {
+            chc_obs::counter(chc_obs::names::CHECK_CONTRADICTIONS, 1);
+        }
         if !contradiction {
             // Proper specialization; a local excuse for it is redundant.
             if has_local_excuse {
@@ -125,6 +130,9 @@ fn check_declaration(schema: &Schema, class: ClassId, attr: Sym, report: &mut Ch
             continue;
         };
 
+        if covered {
+            chc_obs::counter(chc_obs::names::CHECK_EXCUSES_RESOLVED, 1);
+        }
         if !covered {
             report.diagnostics.push(Diagnostic {
                 severity: Severity::Error,
@@ -173,6 +181,7 @@ fn check_joint_satisfiability(
     if constraints.len() < 2 {
         return;
     }
+    chc_obs::counter(chc_obs::names::CHECK_JOINT_SAT_CALLS, 1);
 
     // The allowed set of a constraint — its range plus the ranges of
     // excusers applicable to this class — is built lazily; most pairs

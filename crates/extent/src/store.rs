@@ -69,14 +69,20 @@ impl ExtentStore {
         let oid = self.alloc.alloc();
         let mut bits = BitSet::new(self.num_classes);
         self.membership.insert(oid, bits.clone());
+        let mut fanout = 0u64;
         for &c in classes {
             for a in schema.ancestors_with_self(c) {
                 if bits.insert(a.index()) {
                     self.extents[a.index()].insert(oid);
+                    fanout += 1;
                 }
             }
         }
         self.membership.insert(oid, bits);
+        if chc_obs::enabled() {
+            chc_obs::counter(chc_obs::names::EXTENT_ADD_FANOUT, fanout);
+            chc_obs::histogram(chc_obs::names::EXTENT_FANOUT_HIST, fanout);
+        }
         oid
     }
 
@@ -84,10 +90,16 @@ impl ExtentStore {
     pub fn add_to_class(&mut self, schema: &Schema, oid: Oid, class: ClassId) {
         self.assert_schema(schema);
         let bits = self.membership.get_mut(&oid).expect("unknown object");
+        let mut fanout = 0u64;
         for a in schema.ancestors_with_self(class) {
             if bits.insert(a.index()) {
                 self.extents[a.index()].insert(oid);
+                fanout += 1;
             }
+        }
+        if chc_obs::enabled() {
+            chc_obs::counter(chc_obs::names::EXTENT_ADD_FANOUT, fanout);
+            chc_obs::histogram(chc_obs::names::EXTENT_FANOUT_HIST, fanout);
         }
     }
 
@@ -96,10 +108,16 @@ impl ExtentStore {
     pub fn remove_from_class(&mut self, schema: &Schema, oid: Oid, class: ClassId) {
         self.assert_schema(schema);
         let bits = self.membership.get_mut(&oid).expect("unknown object");
+        let mut fanout = 0u64;
         for d in schema.descendants_with_self(class) {
             if bits.remove(d.index()) {
                 self.extents[d.index()].remove(&oid);
+                fanout += 1;
             }
+        }
+        if chc_obs::enabled() {
+            chc_obs::counter(chc_obs::names::EXTENT_REMOVE_FANOUT, fanout);
+            chc_obs::histogram(chc_obs::names::EXTENT_FANOUT_HIST, fanout);
         }
     }
 

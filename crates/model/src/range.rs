@@ -152,6 +152,13 @@ impl Range {
     /// folding excuses into subtyping is the job of `chc-types`'
     /// conditional types.
     pub fn subsumes(&self, schema: &Schema, sub: &Range) -> bool {
+        // One query per top-level decision; record-field recursion goes
+        // through `subsumes_inner` so nested fields don't inflate E3/E8.
+        chc_obs::counter(chc_obs::names::SUBTYPE_QUERIES, 1);
+        self.subsumes_inner(schema, sub)
+    }
+
+    fn subsumes_inner(&self, schema: &Schema, sub: &Range) -> bool {
         match (self, sub) {
             (Range::Int { lo, hi }, Range::Int { lo: l2, hi: h2 }) => lo <= l2 && h2 <= hi,
             (Range::Str, Range::Str) => true,
@@ -181,7 +188,7 @@ impl Range {
                         sub_fields
                             .iter()
                             .find(|f| f.name == sf.name)
-                            .map(|f| sf.spec.range.subsumes(schema, &f.spec.range))
+                            .map(|f| sf.spec.range.subsumes_inner(schema, &f.spec.range))
                             .unwrap_or(false)
                     })
             }

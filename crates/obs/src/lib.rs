@@ -1,0 +1,241 @@
+//! # chc-obs — zero-dependency observability for the excuses system
+//!
+//! Every experiment in EXPERIMENTS.md is ultimately about *counting
+//! work*: run-time safety checks eliminated (§5.4), search steps per
+//! attribute lookup (§4.2.4), fragments probed vs. skipped by type
+//! deduction (§5.5). This crate gives all the `chc-*` crates one way to
+//! report that work:
+//!
+//! * **named counters** and **histograms** ([`counter`], [`histogram`]),
+//! * **hierarchical spans** with monotonic [`std::time::Instant`] timing
+//!   ([`span`]),
+//!
+//! behind a cheap [`Recorder`] trait. When no recorder is installed
+//! (the default), every instrumentation call is a single relaxed atomic
+//! load and a predictable branch — instrumented hot paths cost ~nothing.
+//!
+//! ## Installing a recorder
+//!
+//! [`StatsRecorder`] is the batteries-included implementation: it
+//! aggregates counters, histograms, and a span tree, and renders them as
+//! a human-readable tree ([`StatsRecorder::render_tree`]), a counter
+//! table ([`StatsRecorder::render_counters`]), or line-delimited JSON
+//! ([`StatsRecorder::to_json_lines`]).
+//!
+//! Recorders can be installed two ways:
+//!
+//! * [`set_global`] — process-wide, used by the `chc` CLI's
+//!   `--trace`/`--stats` flags;
+//! * [`scoped`] — a thread-local override active until the returned
+//!   guard drops. This is what tests and the `report` binary use, so
+//!   parallel test threads never see each other's counters.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use chc_obs as obs;
+//!
+//! let stats = Arc::new(obs::StatsRecorder::new());
+//! {
+//!     let _scope = obs::scoped(stats.clone());
+//!     let _span = obs::span("demo.work");
+//!     obs::counter("demo.widgets", 3);
+//! }
+//! assert_eq!(stats.counter_value("demo.widgets"), 3);
+//! ```
+//!
+//! The counter/span name registry lives in [`names`]; docs/OBSERVABILITY.md
+//! maps each name to the experiment (E1–E10) it feeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod names;
+mod stats;
+
+pub use stats::{HistogramSummary, SpanNode, StatsRecorder};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// A sink for instrumentation events.
+///
+/// Implementations must be cheap to call re-entrantly; the instrumented
+/// crates call these from hot loops whenever a recorder is installed.
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the named counter.
+    fn counter(&self, name: &'static str, delta: u64);
+    /// Record one observation of `value` in the named histogram.
+    fn histogram(&self, name: &'static str, value: u64);
+    /// A span with this name just opened.
+    fn span_enter(&self, name: &'static str);
+    /// The innermost open span with this name just closed, having run
+    /// for `nanos` nanoseconds.
+    fn span_exit(&self, name: &'static str, nanos: u64);
+}
+
+/// Number of live recorder installations (global plus scoped). While
+/// zero, instrumentation calls return after one relaxed load.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+static GLOBAL: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+thread_local! {
+    static LOCAL: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True if any recorder (global or scoped-on-this-thread) may be live.
+///
+/// Use this to skip *preparing* expensive event payloads; the emit
+/// functions already check it internally.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+fn dispatch(f: impl FnOnce(&dyn Recorder)) {
+    let local = LOCAL.with(|l| l.borrow().last().cloned());
+    if let Some(r) = local {
+        f(&*r);
+        return;
+    }
+    let global = GLOBAL.read().ok().and_then(|g| g.clone());
+    if let Some(r) = global {
+        f(&*r);
+    }
+}
+
+/// Installs `recorder` as the process-wide sink, replacing any previous
+/// one. Pass-through for scoped recorders: a thread with a live
+/// [`scoped`] guard keeps reporting to its own recorder.
+pub fn set_global(recorder: Arc<dyn Recorder>) {
+    let mut g = GLOBAL.write().expect("obs global lock");
+    if g.replace(recorder).is_none() {
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Removes the process-wide recorder installed by [`set_global`].
+pub fn clear_global() {
+    let mut g = GLOBAL.write().expect("obs global lock");
+    if g.take().is_some() {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Guard returned by [`scoped`]; dropping it uninstalls the recorder.
+#[must_use = "the recorder is uninstalled when this guard drops"]
+pub struct ScopeGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Installs `recorder` for the current thread until the guard drops.
+///
+/// Scoped recorders shadow the global one and nest (last installed
+/// wins), so a test can meter exactly one region of code regardless of
+/// what the process or enclosing scopes are doing.
+pub fn scoped(recorder: Arc<dyn Recorder>) -> ScopeGuard {
+    LOCAL.with(|l| l.borrow_mut().push(recorder));
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    ScopeGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|l| l.borrow_mut().pop());
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Adds `delta` to the named counter on the active recorder, if any.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if enabled() {
+        dispatch(|r| r.counter(name, delta));
+    }
+}
+
+/// Records `value` into the named histogram on the active recorder.
+#[inline]
+pub fn histogram(name: &'static str, value: u64) {
+    if enabled() {
+        dispatch(|r| r.histogram(name, value));
+    }
+}
+
+/// RAII guard for a timed span; created by [`span`].
+///
+/// When no recorder is active at creation the guard is fully inert — it
+/// holds no `Instant` and its drop is a no-op branch.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a named span. The span closes (and its wall time is reported)
+/// when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if enabled() {
+        dispatch(|r| r.span_enter(name));
+        SpanGuard {
+            name,
+            start: Some(Instant::now()),
+        }
+    } else {
+        SpanGuard { name, start: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            dispatch(|r| r.span_exit(self.name, nanos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_calls_are_noops() {
+        // No recorder in scope: these must not panic and must be cheap.
+        counter("t.noop", 1);
+        histogram("t.noop", 1);
+        let _s = span("t.noop");
+    }
+
+    #[test]
+    fn scoped_recorder_catches_events() {
+        let stats = Arc::new(StatsRecorder::new());
+        {
+            let _g = scoped(stats.clone());
+            counter("t.scoped", 2);
+            counter("t.scoped", 3);
+        }
+        counter("t.scoped", 100); // after the scope: dropped
+        assert_eq!(stats.counter_value("t.scoped"), 5);
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        let outer = Arc::new(StatsRecorder::new());
+        let inner = Arc::new(StatsRecorder::new());
+        let _a = scoped(outer.clone());
+        {
+            let _b = scoped(inner.clone());
+            counter("t.shadow", 1);
+        }
+        counter("t.shadow", 10);
+        assert_eq!(inner.counter_value("t.shadow"), 1);
+        assert_eq!(outer.counter_value("t.shadow"), 10);
+    }
+}

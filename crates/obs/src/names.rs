@@ -1,0 +1,80 @@
+//! The counter/span name registry.
+//!
+//! Every name the `chc-*` crates emit lives here, so docs, the CLI, and
+//! the `report` binary all spell them identically. The mapping from
+//! each name to the experiment (E1–E10) it feeds is documented in
+//! `docs/OBSERVABILITY.md`.
+
+// --- chc-core::check (E1, E7) ---
+
+/// Classes visited by the specialization-or-excuse checker.
+pub const CHECK_CLASSES: &str = "check.classes";
+/// Inherited-constraint contradictions detected (range not subsumed).
+pub const CHECK_CONTRADICTIONS: &str = "check.contradictions";
+/// Contradictions resolved by a covering `excuses` clause.
+pub const CHECK_EXCUSES_RESOLVED: &str = "check.excuses_resolved";
+/// Joint-satisfiability calls (§5.3 emptiness checks).
+pub const CHECK_JOINT_SAT_CALLS: &str = "check.joint_sat_calls";
+/// Span: one whole `check(schema)` run.
+pub const SPAN_CHECK_SCHEMA: &str = "check.schema";
+
+// --- chc-model / chc-types (E2, E3, E8) ---
+
+/// Subtype/subsumption decisions, over both the range lattice
+/// (`Range::subsumes`) and the conditional-type lattice (`subtype`).
+pub const SUBTYPE_QUERIES: &str = "subtype.queries";
+/// `AttrTypeCache` lookups that hit.
+pub const TYPECACHE_HITS: &str = "typecache.hits";
+/// `AttrTypeCache` lookups that missed.
+pub const TYPECACHE_MISSES: &str = "typecache.misses";
+/// Narrowing steps taken (membership branching + not-in deduction).
+pub const NARROW_STEPS: &str = "narrow.steps";
+/// Span: `TypeContext::precompute` building the `AttrTypeCache`.
+pub const SPAN_TYPES_PRECOMPUTE: &str = "types.precompute";
+
+// --- chc-query::eval (E4) ---
+
+/// Run-time safety checks actually executed during evaluation.
+pub const QUERY_CHECKS_EXECUTED: &str = "query.checks_executed";
+/// Checks proven unnecessary by the compiler and skipped (§5.4).
+pub const QUERY_CHECKS_ELIMINATED: &str = "query.checks_eliminated";
+/// Rows scanned by the evaluator.
+pub const QUERY_ROWS_SCANNED: &str = "query.rows_scanned";
+/// Rows that passed all checks and were emitted.
+pub const QUERY_ROWS_EMITTED: &str = "query.rows_emitted";
+/// Span: one `execute(plan)` call.
+pub const SPAN_QUERY_EXECUTE: &str = "query.execute";
+
+// --- chc-extent::store (E5) ---
+
+/// Extents touched when adding an entity (ancestor fan-out).
+pub const EXTENT_ADD_FANOUT: &str = "extent.add_fanout";
+/// Extents touched when removing (descendant fan-out).
+pub const EXTENT_REMOVE_FANOUT: &str = "extent.remove_fanout";
+/// Histogram: fan-out size per add/remove operation.
+pub const EXTENT_FANOUT_HIST: &str = "extent.fanout";
+
+// --- chc-storage::engine (E6) ---
+
+/// Fragments physically probed while fetching.
+pub const STORAGE_FRAGMENTS_PROBED: &str = "storage.fragments_probed";
+/// Fragments skipped because type deduction proved them incompatible.
+pub const STORAGE_FRAGMENTS_SKIPPED: &str = "storage.fragments_skipped";
+/// Span: building a partitioned store from an extent store.
+pub const SPAN_STORAGE_BUILD: &str = "storage.build";
+
+// --- chc-baselines (E3) ---
+
+/// Ancestor-walk steps taken by default-inheritance `default_range`.
+pub const BASELINE_SEARCH_STEPS: &str = "baseline.search_steps";
+
+// --- chc CLI ---
+
+/// Span: the whole CLI command (`cli.check`, `cli.validate`, ...).
+pub const SPAN_CLI_CHECK: &str = "cli.check";
+/// Span: the `validate` command.
+pub const SPAN_CLI_VALIDATE: &str = "cli.validate";
+/// Span: the `analyze` command.
+pub const SPAN_CLI_ANALYZE: &str = "cli.analyze";
+/// Span: parsing + compiling the input schema.
+pub const SPAN_CLI_COMPILE: &str = "cli.compile";

@@ -6,6 +6,14 @@
 //! an absent value, or an attribute missing at run time) is counted
 //! instead of crashing — so the three [`CheckMode`](crate::plan::CheckMode)s
 //! can be compared on work done and failures suffered.
+//!
+//! The accounting is published two ways. Each [`execute`] call returns its
+//! own [`ExecStats`] (aliased as [`EvalStats`] for callers that predate the
+//! rename), and when a `chc-obs` recorder is installed the same totals are
+//! mirrored to the `query.*` counters — `query.rows_scanned`,
+//! `query.rows_emitted`, `query.checks_executed`, plus
+//! `query.checks_eliminated`, the per-row checks the plan *dropped*
+//! relative to a check-everything plan (§5.4's savings, made visible).
 
 use chc_core::{constraint_holds, Semantics};
 use chc_extent::ExtentStore;
@@ -30,6 +38,11 @@ pub struct ExecStats {
     pub rows_skipped_by_check: usize,
 }
 
+/// Historical name for [`ExecStats`], kept as a thin facade so older
+/// callers (and the docs that grew up calling this "eval stats") keep
+/// compiling unchanged.
+pub type EvalStats = ExecStats;
+
 /// The emitted values plus statistics.
 #[derive(Debug, Clone)]
 pub struct ExecResult {
@@ -47,6 +60,7 @@ pub struct ExecResult {
 /// that attribute (the §5.2 rule), since nothing was proven statically.
 /// Checks the type-guided compiler eliminates are exactly this work saved.
 pub fn execute(schema: &Schema, store: &ExtentStore, plan: &Plan) -> ExecResult {
+    let _span = chc_obs::span(chc_obs::names::SPAN_QUERY_EXECUTE);
     let mut stats = ExecStats::default();
     let mut values = Vec::new();
     'row: for oid in store.extent(plan.class) {
@@ -90,6 +104,19 @@ pub fn execute(schema: &Schema, store: &ExtentStore, plan: &Plan) -> ExecResult 
         }
         stats.rows_emitted += 1;
         values.push(cur);
+    }
+    if chc_obs::enabled() {
+        use chc_obs::names;
+        chc_obs::counter(names::QUERY_ROWS_SCANNED, stats.rows_scanned as u64);
+        chc_obs::counter(names::QUERY_ROWS_EMITTED, stats.rows_emitted as u64);
+        chc_obs::counter(names::QUERY_CHECKS_EXECUTED, stats.checks_executed as u64);
+        // Checks a check-everything compiler would have run but this plan
+        // statically proved away: one per eliminated step, per scanned row.
+        let eliminated_per_row = plan.emit.len().saturating_sub(plan.checks_per_row());
+        chc_obs::counter(
+            names::QUERY_CHECKS_ELIMINATED,
+            (stats.rows_scanned * eliminated_per_row) as u64,
+        );
     }
     ExecResult { values, stats }
 }

@@ -5,8 +5,11 @@
 //! iteration variable through membership guards, warns about residual
 //! hazards, and — depending on [`CheckMode`] — inserts run-time safety
 //! checks only where a type error can actually occur; and an instrumented
-//! evaluator ([`execute`]) that counts checks and unchecked failures so
-//! experiment E4 can quantify the savings.
+//! evaluator ([`execute`]) that reports its accounting two ways: the
+//! per-call [`ExecStats`] (also exported under its historical name
+//! [`EvalStats`]) returned with each result, and the workspace-wide
+//! `chc-obs` recorder (`query.checks_executed`, `query.rows_scanned`, …)
+//! that experiment E4 and the `chc --stats` CLI read.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +21,6 @@ pub mod parse;
 pub mod plan;
 
 pub use ast::{Pred, Query, QueryBuilder};
+pub use eval::{execute, EvalStats, ExecResult, ExecStats};
 pub use parse::{parse_query, QueryParseError};
-pub use eval::{execute, ExecResult, ExecStats};
 pub use plan::{compile, CheckMode, Plan, TypeError};

@@ -257,7 +257,6 @@ pub fn decode_variant(
 mod tests {
     use super::*;
     use chc_model::{Interner, SchemaBuilder};
-    use proptest::prelude::*;
 
     fn syms(n: usize) -> (Interner, Vec<Sym>) {
         let mut i = Interner::new();
@@ -351,48 +350,79 @@ mod tests {
         assert_eq!(decode_variant(&bytes, resolve), Err(CodecError::BadTag(0xFF)));
     }
 
-    proptest! {
-        #[test]
-        fn prop_variant_round_trips(ints in proptest::collection::vec(any::<i64>(), 0..8),
-                                    strs in proptest::collection::vec(".{0,24}", 0..8)) {
+    // Randomized round-trip coverage, driven by the workspace's seeded
+    // PRNG (the build is offline, so no proptest).
+
+    fn random_string(rng: &mut chc_workloads::rng::SplitMix64) -> String {
+        let len = rng.gen_range(0, 24);
+        (0..len)
+            .map(|_| {
+                // Mix ASCII, escapes, and multi-byte scalars.
+                match rng.gen_range(0, 3) {
+                    0 => char::from(rng.gen_range(0x20, 0x7E) as u8),
+                    1 => ['\0', '\n', '"', '\\', '\u{7f}'][rng.gen_range(0, 4)],
+                    _ => char::from_u32(rng.gen_range(0x80, 0x2FFF) as u32).unwrap_or('é'),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prop_variant_round_trips() {
+        let mut rng = chc_workloads::rng::SplitMix64::new(0xC0DEC);
+        for _ in 0..256 {
             let mut b = SchemaBuilder::new();
             let mut row: Vec<(Sym, Value)> = Vec::new();
             let mut all_syms = Vec::new();
-            for (k, i) in ints.iter().enumerate() {
+            for k in 0..rng.gen_range(0, 7) {
                 let sym = b.intern(&format!("i{k}"));
                 all_syms.push(sym);
-                row.push((sym, Value::Int(*i)));
+                row.push((sym, Value::Int(rng.next_u64() as i64)));
             }
-            for (k, s) in strs.iter().enumerate() {
+            for k in 0..rng.gen_range(0, 7) {
                 let sym = b.intern(&format!("s{k}"));
                 all_syms.push(sym);
-                row.push((sym, Value::str(s)));
+                let s = random_string(&mut rng);
+                row.push((sym, Value::str(&s)));
             }
             let mut bytes = Vec::new();
             encode_variant(&row, &mut bytes);
             // Symbol indexes are dense from 0, so resolve via position.
             let resolve = |raw: u32| all_syms[raw as usize];
-            prop_assert_eq!(decode_variant(&bytes, resolve).unwrap(), row);
+            assert_eq!(decode_variant(&bytes, resolve).unwrap(), row);
         }
+    }
 
-        #[test]
-        fn prop_fixed_round_trips_ints(vals in proptest::collection::vec(proptest::option::of(any::<i64>()), 1..10)) {
+    #[test]
+    fn prop_fixed_round_trips_ints() {
+        let mut rng = chc_workloads::rng::SplitMix64::new(0xF1C5ED);
+        for _ in 0..256 {
+            let vals: Vec<Option<i64>> = (0..rng.gen_range(1, 9))
+                .map(|_| rng.gen_bool(0.7).then(|| rng.next_u64() as i64))
+                .collect();
             let mut b = SchemaBuilder::new();
             let syms: Vec<Sym> = (0..vals.len()).map(|k| b.intern(&format!("f{k}"))).collect();
             let format = RecordFormat {
                 fields: syms.iter().map(|&s| (s, FieldKind::Int)).collect(),
             };
             let mut bytes = Vec::new();
-            encode_fixed(&format, |a| {
-                let idx = syms.iter().position(|&s| s == a).unwrap();
-                vals[idx].map(Value::Int)
-            }, &mut bytes).unwrap();
+            encode_fixed(
+                &format,
+                |a| {
+                    let idx = syms.iter().position(|&s| s == a).unwrap();
+                    vals[idx].map(Value::Int)
+                },
+                &mut bytes,
+            )
+            .unwrap();
             let resolve = |raw: u32| syms[raw as usize];
             let decoded = decode_fixed(&format, &bytes, resolve).unwrap();
-            let expect: Vec<(Sym, Value)> = syms.iter().zip(&vals)
+            let expect: Vec<(Sym, Value)> = syms
+                .iter()
+                .zip(&vals)
                 .filter_map(|(&s, v)| v.map(|i| (s, Value::Int(i))))
                 .collect();
-            prop_assert_eq!(decoded, expect);
+            assert_eq!(decoded, expect);
         }
     }
 }

@@ -54,6 +54,7 @@ impl PartitionedStore {
         root: ClassId,
         exceptional: &[ClassId],
     ) -> Result<PartitionedStore, CodecError> {
+        let _span = chc_obs::span(chc_obs::names::SPAN_STORAGE_BUILD);
         let mut out = PartitionedStore {
             exceptional: exceptional.to_vec(),
             fragments: Vec::new(),
@@ -135,9 +136,11 @@ impl PartitionedStore {
         for (_, frag) in &self.fragments {
             probes += 1;
             if frag.contains(oid) {
+                chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_PROBED, probes as u64);
                 return Fetched { value: self.read(frag, oid, attr), probes };
             }
         }
+        chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_PROBED, probes as u64);
         Fetched { value: None, probes }
     }
 
@@ -152,6 +155,7 @@ impl PartitionedStore {
         known_not_in: &[ClassId],
     ) -> Fetched {
         let mut probes = 0;
+        let mut skipped = 0u64;
         for (sig, frag) in &self.fragments {
             let compatible = known_not_in.iter().all(|c| !sig.contains(c))
                 && known_in
@@ -159,12 +163,21 @@ impl PartitionedStore {
                     .filter(|c| self.exceptional.contains(c))
                     .all(|c| sig.contains(c));
             if !compatible {
+                skipped += 1;
                 continue;
             }
             probes += 1;
             if frag.contains(oid) {
+                if chc_obs::enabled() {
+                    chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_PROBED, probes as u64);
+                    chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_SKIPPED, skipped);
+                }
                 return Fetched { value: self.read(frag, oid, attr), probes };
             }
+        }
+        if chc_obs::enabled() {
+            chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_PROBED, probes as u64);
+            chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_SKIPPED, skipped);
         }
         Fetched { value: None, probes }
     }
@@ -173,6 +186,7 @@ impl PartitionedStore {
     /// perfect index achieves; guided fetches approach it as knowledge
     /// grows).
     pub fn fetch_directory(&self, oid: Oid, attr: Sym) -> Fetched {
+        chc_obs::counter(chc_obs::names::STORAGE_FRAGMENTS_PROBED, 1);
         match self.directory.get(&oid) {
             Some(&idx) => Fetched {
                 value: self.read(&self.fragments[idx].1, oid, attr),

@@ -130,6 +130,7 @@ impl<'s> TypeContext<'s> {
     /// utilize in any form the topology of the inheritance hierarchy",
     /// unlike default inheritance's per-lookup search).
     pub fn precompute(&self) -> AttrTypeCache {
+        let _span = chc_obs::span(chc_obs::names::SPAN_TYPES_PRECOMPUTE);
         let mut map = HashMap::new();
         for class in self.schema.class_ids() {
             let facts = EntityFacts::of_class(self.schema, class);
@@ -152,7 +153,13 @@ pub struct AttrTypeCache {
 impl AttrTypeCache {
     /// O(1) lookup of the effective type of `class.attr`.
     pub fn get(&self, class: ClassId, attr: Sym) -> Option<&TySet> {
-        self.map.get(&(class, attr))
+        let hit = self.map.get(&(class, attr));
+        if hit.is_some() {
+            chc_obs::counter(chc_obs::names::TYPECACHE_HITS, 1);
+        } else {
+            chc_obs::counter(chc_obs::names::TYPECACHE_MISSES, 1);
+        }
+        hit
     }
 
     /// Number of cached pairs.

@@ -29,6 +29,7 @@ pub fn branch_on_membership(
     facts: &EntityFacts,
     class: ClassId,
 ) -> Branches {
+    chc_obs::counter(chc_obs::names::NARROW_STEPS, 1);
     let then_facts = {
         let mut f = facts.clone();
         f.assume_in(ctx.schema, class);
@@ -60,6 +61,7 @@ pub fn deduce_not_in(
         if facts.known_in(class) || facts.known_not_in(class) {
             continue;
         }
+        chc_obs::counter(chc_obs::names::NARROW_STEPS, 1);
         let mut hyp = facts.clone();
         hyp.assume_in(schema, class);
         if hyp.contradictory() {

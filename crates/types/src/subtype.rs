@@ -102,6 +102,13 @@ pub fn cond_of(schema: &Schema, declarer: ClassId, attr: Sym) -> Option<CondTy> 
 
 /// Decides `a <: b` (every value of `a` is a value of `b`).
 pub fn subtype(schema: &Schema, a: &Ty, b: &Ty) -> bool {
+    // One query per top-level decision; structural recursion goes through
+    // `subtype_inner` so deep record types count once.
+    chc_obs::counter(chc_obs::names::SUBTYPE_QUERIES, 1);
+    subtype_inner(schema, a, b)
+}
+
+fn subtype_inner(schema: &Schema, a: &Ty, b: &Ty) -> bool {
     match (a, b) {
         (Ty::Prim(p), Ty::Prim(q)) => prim_subtype(p, q),
         (Ty::Class(x), Ty::Class(y)) => schema.is_subclass(*x, *y),
@@ -110,7 +117,7 @@ pub fn subtype(schema: &Schema, a: &Ty, b: &Ty) -> bool {
         (Ty::Record(fa), Ty::Record(fb)) => fb.iter().all(|(name, ctb)| {
             fa.iter()
                 .find(|(n, _)| n == name)
-                .is_some_and(|(_, cta)| cond_subtype(schema, cta, ctb))
+                .is_some_and(|(_, cta)| cond_subtype_inner(schema, cta, ctb))
         }),
         (Ty::Class(c), Ty::Record(fields)) => fields.iter().all(|(attr, ctb)| {
             // Some constraint on c (or an ancestor) must already guarantee
@@ -118,7 +125,7 @@ pub fn subtype(schema: &Schema, a: &Ty, b: &Ty) -> bool {
             schema
                 .ancestors_with_self(*c)
                 .filter_map(|anc| cond_of(schema, anc, *attr))
-                .any(|cta| cond_subtype(schema, &cta, ctb))
+                .any(|cta| cond_subtype_inner(schema, &cta, ctb))
         }),
         _ => false,
     }
@@ -127,13 +134,18 @@ pub fn subtype(schema: &Schema, a: &Ty, b: &Ty) -> bool {
 /// `T0 + Ti/Ei <: U0 + Uj/Fj`: the base must fit the base, and every arm
 /// must fit the base or a pointwise-stronger arm.
 pub fn cond_subtype(schema: &Schema, a: &CondTy, b: &CondTy) -> bool {
-    if !subtype(schema, &a.base, &b.base) {
+    chc_obs::counter(chc_obs::names::SUBTYPE_QUERIES, 1);
+    cond_subtype_inner(schema, a, b)
+}
+
+fn cond_subtype_inner(schema: &Schema, a: &CondTy, b: &CondTy) -> bool {
+    if !subtype_inner(schema, &a.base, &b.base) {
         return false;
     }
     a.arms.iter().all(|(cond, ty)| {
-        subtype(schema, ty, &b.base)
+        subtype_inner(schema, ty, &b.base)
             || b.arms.iter().any(|(bcond, bty)| {
-                schema.is_subclass(*cond, *bcond) && subtype(schema, ty, bty)
+                schema.is_subclass(*cond, *bcond) && subtype_inner(schema, ty, bty)
             })
     })
 }

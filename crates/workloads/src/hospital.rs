@@ -7,13 +7,11 @@
 //! patients treated at Swiss hospitals (whose addresses have no `state`),
 //! and ambulatory patients with no ward.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use chc_core::{virtualize, Virtualized};
 use chc_extent::{refresh_virtual_extents, ExtentStore};
 use chc_model::{ClassId, Oid, Sym, Value};
 
+use crate::rng::SplitMix64;
 use crate::vignettes::{compiled, HOSPITAL};
 
 /// Sizing and mix parameters.
@@ -108,7 +106,7 @@ pub fn build(params: &HospitalParams) -> HospitalDb {
     let schema = compiled(HOSPITAL);
     let v = virtualize(&schema).expect("hospital schema virtualizes");
     let s = &v.schema;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64::new(params.seed);
 
     let ids = HospitalIds {
         patient: s.class_by_name("Patient").unwrap(),
@@ -180,7 +178,7 @@ pub fn build(params: &HospitalParams) -> HospitalDb {
         let class = if i % 3 == 0 { oncologist } else { ids.physician };
         let p = store.create(s, &[class]);
         store.set_attr(p, ids.name, Value::str(&format!("Dr{i}")));
-        store.set_attr(p, ids.age, Value::Int(rng.gen_range(30..70)));
+        store.set_attr(p, ids.age, Value::Int(rng.gen_range_i64(30, 69)));
         let aff = ordinary_hospitals[i % ordinary_hospitals.len()];
         store.set_attr(p, s.sym("affiliatedWith").unwrap(), Value::Obj(aff));
         physicians.push(p);
@@ -192,7 +190,7 @@ pub fn build(params: &HospitalParams) -> HospitalDb {
     for i in 0..(params.physicians / 3).max(1) {
         let p = store.create(s, &[ids.psychologist]);
         store.set_attr(p, ids.name, Value::str(&format!("Psy{i}")));
-        store.set_attr(p, ids.age, Value::Int(rng.gen_range(30..70)));
+        store.set_attr(p, ids.age, Value::Int(rng.gen_range_i64(30, 69)));
         psychologists.push(p);
     }
     let wards: Vec<Oid> = (0..8).map(|_| store.create(s, &[ward_class])).collect();
@@ -201,7 +199,7 @@ pub fn build(params: &HospitalParams) -> HospitalDb {
     // Patients.
     let mut patients = Vec::with_capacity(params.patients);
     for i in 0..params.patients {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.gen_f64();
         let (classes, kind) = if roll < params.tubercular_fraction {
             (vec![ids.tubercular], "tb")
         } else if roll < params.tubercular_fraction + params.alcoholic_fraction {
@@ -223,7 +221,7 @@ pub fn build(params: &HospitalParams) -> HospitalDb {
         };
         let p = store.create(s, &classes);
         store.set_attr(p, ids.name, Value::str(&format!("Patient{i}")));
-        store.set_attr(p, ids.age, Value::Int(rng.gen_range(1..120)));
+        store.set_attr(p, ids.age, Value::Int(rng.gen_range_i64(1, 119)));
         match kind {
             "tb" => {
                 let h = swiss_hospitals[i % swiss_hospitals.len()];

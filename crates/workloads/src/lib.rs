@@ -6,6 +6,7 @@
 //! * [`randhier`] — random checker-clean hierarchies plus fault seeding
 //!   (experiments E1, E3, E8).
 //! * [`populate()`] — type-directed generic instance population.
+//! * [`rng`] — the dependency-free seeded PRNG behind all of the above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +15,7 @@
 pub mod hospital;
 pub mod populate;
 pub mod randhier;
+pub mod rng;
 pub mod vignettes;
 
 pub use hospital::{build as build_hospital, HospitalDb, HospitalIds, HospitalParams};

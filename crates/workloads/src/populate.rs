@@ -8,13 +8,11 @@
 //! By construction every generated object validates under the Correct
 //! semantics, which the tests assert.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use chc_extent::ExtentStore;
 use chc_model::{ClassId, Oid, Schema, Value};
 use chc_types::{Atom, EntityFacts, TypeContext};
+
+use crate::rng::SplitMix64;
 
 /// Population parameters.
 #[derive(Debug, Clone)]
@@ -35,7 +33,7 @@ impl Default for PopulateParams {
 /// token-valued attributes with admissible values. Attributes whose
 /// effective type is empty or non-token are left unset.
 pub fn populate(schema: &Schema, params: &PopulateParams) -> (ExtentStore, Vec<Oid>) {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64::new(params.seed);
     let ctx = TypeContext::new(schema);
     let mut store = ExtentStore::new(schema);
     let mut all = Vec::new();
@@ -56,7 +54,7 @@ fn fill_attrs(
     schema: &Schema,
     ctx: &TypeContext<'_>,
     store: &mut ExtentStore,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     oid: Oid,
     class: ClassId,
 ) {
@@ -77,7 +75,7 @@ fn fill_attrs(
                 Atom::Enum(set) => tokens.extend(set.iter().copied()),
                 Atom::Absent => absent_ok = true,
                 Atom::Int(lo, hi) => {
-                    let v = rng.gen_range(*lo..=*hi);
+                    let v = rng.gen_range_i64(*lo, *hi);
                     store.set_attr(oid, attr, Value::Int(v));
                     tokens.clear();
                     absent_ok = false;
@@ -86,7 +84,7 @@ fn fill_attrs(
                 _ => {}
             }
         }
-        if let Some(tok) = tokens.choose(rng) {
+        if let Some(tok) = rng.choose(&tokens) {
             store.set_attr(oid, attr, Value::Tok(*tok));
         } else if absent_ok {
             // Leave unset: Absent is the admissible value.

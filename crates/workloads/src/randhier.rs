@@ -6,14 +6,12 @@
 //! [`seed_contradictions`], then removes excuses at known sites so
 //! experiment E1 can measure the checker's detection precision/recall.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use chc_core::{check, DiagKind, Severity};
 use chc_model::{
     AttrSpec, ClassId, Range, Schema, SchemaBuilder, Sym,
 };
+
+use crate::rng::SplitMix64;
 
 /// Parameters for [`generate`].
 #[derive(Debug, Clone)]
@@ -65,7 +63,7 @@ pub struct GeneratedHierarchy {
 
 /// Generates a checker-clean random hierarchy.
 pub fn generate(params: &HierarchyParams) -> GeneratedHierarchy {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64::new(params.seed);
     let mut b = SchemaBuilder::new();
     let tokens: Vec<Sym> = (0..params.tokens)
         .map(|i| b.intern(&format!("tok{i}")))
@@ -89,9 +87,9 @@ pub fn generate(params: &HierarchyParams) -> GeneratedHierarchy {
     for ci in 0..params.classes {
         let id = b.declare(&format!("C{ci}")).unwrap();
         ids.push(id);
-        let n_supers = if ci == 0 { 0 } else { rng.gen_range(1..=params.max_supers.min(ci)) };
+        let n_supers = if ci == 0 { 0 } else { rng.gen_range(1, params.max_supers.min(ci)) };
         let mut supers: Vec<usize> = (0..ci).collect();
-        supers.shuffle(&mut rng);
+        rng.shuffle(&mut supers);
         supers.truncate(n_supers);
         for &s in &supers {
             b.add_super(id, ids[s]).unwrap();
@@ -179,10 +177,10 @@ impl EnumRange for Range {
     }
 }
 
-fn random_enum(rng: &mut StdRng, tokens: &[Sym], universe: usize) -> Range {
-    let size = rng.gen_range(1..=universe.max(1));
+fn random_enum(rng: &mut SplitMix64, tokens: &[Sym], universe: usize) -> Range {
+    let size = rng.gen_range(1, universe.max(1));
     let mut picked: Vec<Sym> = tokens.to_vec();
-    picked.shuffle(rng);
+    rng.shuffle(&mut picked);
     picked.truncate(size);
     Range::enumeration(picked).expect("nonempty")
 }
@@ -199,10 +197,10 @@ fn enum_meet(constraints: &[(usize, Range)]) -> Option<Vec<Sym>> {
     (!acc.is_empty()).then(|| acc.into_iter().collect())
 }
 
-fn subset_of(rng: &mut StdRng, meet: &[Sym]) -> Range {
-    let size = rng.gen_range(1..=meet.len());
+fn subset_of(rng: &mut SplitMix64, meet: &[Sym]) -> Range {
+    let size = rng.gen_range(1, meet.len());
     let mut picked = meet.to_vec();
-    picked.shuffle(rng);
+    rng.shuffle(&mut picked);
     picked.truncate(size);
     Range::enumeration(picked).expect("nonempty")
 }
@@ -226,7 +224,7 @@ pub fn seed_contradictions(
     count: usize,
     seed: u64,
 ) -> (Schema, Vec<SeededFault>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // A site only qualifies as a *fault* if removing its excuses leaves
     // some contradicted constraint genuinely uncovered — if another
     // applicable excuser would still cover the range, the schema stays
@@ -257,7 +255,7 @@ pub fn seed_contradictions(
             })
         })
         .collect();
-    sites.shuffle(&mut rng);
+    rng.shuffle(&mut sites);
     sites.truncate(count);
     let mut b = SchemaBuilder::from_schema(&gen.schema);
     let mut faults = Vec::new();

@@ -1,0 +1,133 @@
+//! A small, deterministic, dependency-free PRNG.
+//!
+//! The experiment generators must be reproducible byte-for-byte across
+//! runs and build environments, and the build environment is offline —
+//! so instead of the `rand` crate the workloads use SplitMix64 (Steele,
+//! Lea & Flood 2014), a 64-bit mixing generator that passes BigCrush,
+//! needs eight bytes of state, and is trivially seedable.
+
+/// A SplitMix64 generator.
+///
+/// ```
+/// use chc_workloads::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        // Multiply-shift rejection-free mapping; the tiny modulo bias is
+        // irrelevant for workload generation (span ≪ 2^64).
+        let r = (self.next_u64() as u128 * span) >> 64;
+        (lo as i128 + r as i128) as i64
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0, i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0, slice.len() - 1)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_covering() {
+        let mut rng = SplitMix64::new(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0, 4);
+            assert!(v <= 4);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a small range hit");
+        for _ in 0..100 {
+            let v = rng.gen_range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.03, "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SplitMix64::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle is not the identity");
+    }
+
+    #[test]
+    fn choose_is_none_only_on_empty() {
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+}

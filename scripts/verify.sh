@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass offline, with no network and
+# no pre-fetched registry index. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline (root package: integration + doc tests)"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check (chc-obs)"
+cargo fmt --check -p chc-obs
+
+echo "==> cargo clippy -p chc-obs -- -D warnings"
+cargo clippy --offline -p chc-obs -- -D warnings
+
+echo "OK: all verification gates passed"

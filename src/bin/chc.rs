@@ -1,6 +1,8 @@
 //! `chc` — a command-line front end for schemas with contradictions.
 //!
 //! ```text
+//! chc [--trace] [--stats] <command> ...
+//!
 //! chc check <schema.sdl>                 type-check a schema (exit 1 on errors)
 //! chc print <schema.sdl>                 canonical pretty-printed form
 //! chc virtualize <schema.sdl>            show the §5.6 virtual classes
@@ -9,8 +11,14 @@
 //! chc analyze <schema.sdl> "<query>"     static safety analysis of a query
 //! chc validate <schema.sdl> <data.chd>   load instance data and validate it
 //! ```
+//!
+//! The global `--trace` flag prints a span tree (what ran, how long) and
+//! `--stats` prints the counter table (subtype queries, classes checked,
+//! …) after the command completes. Both install a
+//! [`chc_obs::StatsRecorder`] for the duration of the run.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use excuses::core::{check, virtualize, MissingPolicy, Semantics, ValidationOptions};
 use excuses::extent::{load_data, refresh_virtual_extents, validate_stored};
@@ -21,8 +29,25 @@ use excuses::types::{
 };
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = take_flag(&mut args, "--trace");
+    let stats = take_flag(&mut args, "--stats");
+    let recorder = (trace || stats).then(|| {
+        let r = Arc::new(chc_obs::StatsRecorder::new());
+        chc_obs::set_global(r.clone());
+        r
+    });
+    let outcome = run(&args);
+    if let Some(r) = &recorder {
+        chc_obs::clear_global();
+        if trace {
+            print!("{}", r.render_tree());
+        }
+        if stats {
+            print!("{}", r.render_counters());
+        }
+    }
+    match outcome {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -31,12 +56,28 @@ fn main() -> ExitCode {
     }
 }
 
+/// Removes every occurrence of `flag` from `args`; true if any was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: chc <check|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] <check|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let schema = compile(&src).map_err(|e| format!("{path}: {e}"))?;
+    let schema = {
+        let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
+        compile(&src).map_err(|e| format!("{path}: {e}"))?
+    };
+    let _cmd_span = match cmd.as_str() {
+        "check" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_CHECK)),
+        "validate" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_VALIDATE)),
+        "analyze" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_ANALYZE)),
+        _ => None,
+    };
 
     match cmd.as_str() {
         "check" => {

@@ -19,6 +19,8 @@
 //! * [`storage`] — semantic grouping and horizontal partitioning.
 //! * [`baselines`] — the rejected alternatives of §4.2, for comparison.
 //! * [`workloads`] — deterministic generators for the experiments.
+//! * [`obs`] — counters, histograms, and spans behind the `chc --trace`
+//!   and `--stats` flags and the experiment reports.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use chc_baselines as baselines;
 pub use chc_core as core;
 pub use chc_extent as extent;
 pub use chc_model as model;
+pub use chc_obs as obs;
 pub use chc_query as query;
 pub use chc_sdl as sdl;
 pub use chc_storage as storage;

@@ -157,3 +157,54 @@ fn validate_loads_data_and_judges_it() {
     assert!(stdout.contains("ann:"), "{stdout}");
     assert!(stdout.contains("Patient.treatedBy"), "{stdout}");
 }
+
+#[test]
+fn check_with_stats_prints_nonzero_counters() {
+    let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
+    let out = chc(&["check", "--stats", schema.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    let counter = |name: &str| -> u64 {
+        stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with(name))
+            .unwrap_or_else(|| panic!("no `{name}` row in:\n{stdout}"))
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(counter("subtype.queries") > 0, "{stdout}");
+    assert!(counter("check.classes") > 0, "{stdout}");
+}
+
+#[test]
+fn validate_with_trace_prints_span_tree() {
+    let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
+    let data = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.chd");
+    let out = chc(&["validate", "--trace", schema.to_str().unwrap(), data.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    // The span tree names the command phases, with timings.
+    assert!(stdout.contains("cli.compile"), "{stdout}");
+    assert!(stdout.contains("cli.validate"), "{stdout}");
+    assert!(stdout.contains("check.schema"), "{stdout}");
+    assert!(stdout.contains("us") || stdout.contains("ms") || stdout.contains("ns"), "{stdout}");
+}
+
+#[test]
+fn flags_can_appear_anywhere_and_compose() {
+    let path = write_schema("flags.sdl", CLEAN);
+    let out = chc(&["--trace", "check", "--stats", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("cli.check"), "{stdout}");
+    assert!(stdout.contains("check.classes"), "{stdout}");
+
+    // Without the flags, no observability output sneaks in.
+    let out = chc(&["check", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("cli.check"), "{stdout}");
+    assert!(!stdout.contains("check.classes"), "{stdout}");
+}

@@ -1,6 +1,6 @@
-//! Property-based integration tests over randomized schemas and stores.
-
-use proptest::prelude::*;
+//! Randomized integration tests over generated schemas and stores,
+//! driven by the workspace's seeded PRNG (the build is offline, so no
+//! proptest; each test sweeps a fixed, deterministic set of seeds).
 
 use excuses::core::{
     check, evolve, validate_object, MissingPolicy, Semantics, ValidationOptions,
@@ -9,27 +9,36 @@ use excuses::extent::ExtentStore;
 use excuses::model::{ClassId, Range};
 use excuses::sdl::{compile, print_schema};
 use excuses::types::{subtype, CondTy, Prim, Ty};
+use excuses::workloads::rng::SplitMix64;
 use excuses::workloads::{
     detection_score, generate, populate, seed_contradictions, HierarchyParams, PopulateParams,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// `cases` deterministic seeds drawn from `[lo, hi)`.
+fn seeds(stream: u64, cases: usize, lo: u64, hi: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(stream);
+    (0..cases)
+        .map(|_| rng.gen_range_i64(lo as i64, hi as i64 - 1) as u64)
+        .collect()
+}
 
-    /// print ∘ compile is a fixed point on arbitrary generated schemas.
-    #[test]
-    fn printer_round_trips_random_schemas(seed in 0u64..500) {
+/// print ∘ compile is a fixed point on arbitrary generated schemas.
+#[test]
+fn printer_round_trips_random_schemas() {
+    for seed in seeds(0x9121, 24, 0, 500) {
         let gen = generate(&HierarchyParams { seed, classes: 40, ..Default::default() });
         let text = print_schema(&gen.schema);
         let reparsed = compile(&text).expect("printed schemas reparse");
-        prop_assert_eq!(print_schema(&reparsed), text);
-        prop_assert!(check(&reparsed).is_ok());
+        assert_eq!(print_schema(&reparsed), text);
+        assert!(check(&reparsed).is_ok());
     }
+}
 
-    /// The Correct semantics accepts everything Strict accepts (excuses
-    /// only widen, never narrow, the valid population).
-    #[test]
-    fn correct_accepts_superset_of_strict(seed in 0u64..500) {
+/// The Correct semantics accepts everything Strict accepts (excuses
+/// only widen, never narrow, the valid population).
+#[test]
+fn correct_accepts_superset_of_strict() {
+    for seed in seeds(0x5752, 24, 0, 500) {
         let gen = generate(&HierarchyParams { seed, classes: 30, ..Default::default() });
         let (store, objects) = populate(&gen.schema, &PopulateParams { per_class: 4, seed });
         for &o in &objects {
@@ -42,27 +51,27 @@ proptest! {
                 semantics: Semantics::Correct,
                 missing: MissingPolicy::Vacuous,
             };
-            let strict_ok =
-                validate_object(&gen.schema, &store, strict, o, &classes).is_empty();
-            let correct_ok =
-                validate_object(&gen.schema, &store, correct, o, &classes).is_empty();
+            let strict_ok = validate_object(&gen.schema, &store, strict, o, &classes).is_empty();
+            let correct_ok = validate_object(&gen.schema, &store, correct, o, &classes).is_empty();
             if strict_ok {
-                prop_assert!(correct_ok, "strict-valid object rejected by Correct");
+                assert!(correct_ok, "strict-valid object rejected by Correct");
             }
         }
     }
+}
 
-    /// Seeded unexcused contradictions are always detected (recall 1.0)
-    /// with no false positives outside knock-on sites (precision 1.0), and
-    /// repairing every fault with `add_excuse` restores a clean schema.
-    #[test]
-    fn fault_seeding_detection_and_repair(seed in 0u64..200) {
+/// Seeded unexcused contradictions are always detected (recall 1.0)
+/// with no false positives outside knock-on sites (precision 1.0), and
+/// repairing every fault with `add_excuse` restores a clean schema.
+#[test]
+fn fault_seeding_detection_and_repair() {
+    for seed in seeds(0xFA17, 24, 0, 200) {
         let gen = generate(&HierarchyParams { seed, classes: 60, ..Default::default() });
         let n = gen.excused_sites.len().min(5);
         let (mutated, faults) = seed_contradictions(&gen, n, seed ^ 0xF00D);
         let (precision, recall) = detection_score(&mutated, &faults);
-        prop_assert_eq!(recall, 1.0);
-        prop_assert_eq!(precision, 1.0);
+        assert_eq!(recall, 1.0);
+        assert_eq!(precision, 1.0);
 
         // Repair: re-excuse each fault site against every contradicted
         // ancestor; the checker must come back clean.
@@ -70,13 +79,11 @@ proptest! {
         for fault in &faults {
             let ancestors: Vec<ClassId> = schema.strict_ancestors(fault.class).collect();
             for b in ancestors {
-                let contradicted = schema
-                    .declared_attr(b, fault.attr)
-                    .is_some_and(|decl| {
-                        let s_range =
-                            &schema.declared_attr(fault.class, fault.attr).unwrap().spec.range;
-                        !decl.spec.range.subsumes(&schema, s_range)
-                    });
+                let contradicted = schema.declared_attr(b, fault.attr).is_some_and(|decl| {
+                    let s_range =
+                        &schema.declared_attr(fault.class, fault.attr).unwrap().spec.range;
+                    !decl.spec.range.subsumes(&schema, s_range)
+                });
                 if contradicted {
                     schema = evolve::add_excuse(&schema, fault.class, fault.attr, fault.attr, b)
                         .expect("repair applies")
@@ -84,19 +91,28 @@ proptest! {
                 }
             }
         }
-        prop_assert!(check(&schema).is_ok(), "{}", check(&schema).render(&schema));
+        assert!(check(&schema).is_ok(), "{}", check(&schema).render(&schema));
     }
+}
 
-    /// Extent subset invariant holds under arbitrary create/add/remove/
-    /// destroy sequences.
-    #[test]
-    fn extent_invariant_under_random_ops(seed in 0u64..300, ops in proptest::collection::vec((0u8..4, 0usize..30, 0usize..30), 1..60)) {
+/// Extent subset invariant holds under arbitrary create/add/remove/
+/// destroy sequences.
+#[test]
+fn extent_invariant_under_random_ops() {
+    let mut op_rng = SplitMix64::new(0xE47E);
+    for seed in seeds(0xE47F, 24, 0, 300) {
         let gen = generate(&HierarchyParams { seed, classes: 15, ..Default::default() });
         let schema = &gen.schema;
         let mut store = ExtentStore::new(schema);
         let classes: Vec<ClassId> = schema.class_ids().collect();
         let mut oids = Vec::new();
-        for (op, a, b) in ops {
+        let n_ops = op_rng.gen_range(1, 59);
+        for _ in 0..n_ops {
+            let (op, a, b) = (
+                op_rng.gen_range(0, 3) as u8,
+                op_rng.gen_range(0, 29),
+                op_rng.gen_range(0, 29),
+            );
             match op {
                 0 => {
                     let c = classes[a % classes.len()];
@@ -126,7 +142,7 @@ proptest! {
             for &c in &classes {
                 for sup in schema.strict_ancestors(c) {
                     for o in store.extent(c) {
-                        prop_assert!(store.is_member(o, sup));
+                        assert!(store.is_member(o, sup));
                     }
                 }
             }
@@ -232,16 +248,14 @@ fn range_subsumption_is_a_preorder() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(30))]
-
-    /// Checker soundness w.r.t. satisfiability: on a checker-clean schema,
-    /// every class admits a value for every applicable attribute — the
-    /// joint-satisfiability check really does guarantee instances can
-    /// exist. (The checker tests pairwise overlap; this probes whether
-    /// higher-order conflicts slip through on realistic workloads.)
-    #[test]
-    fn accepted_classes_are_satisfiable(seed in 1000u64..1200) {
+/// Checker soundness w.r.t. satisfiability: on a checker-clean schema,
+/// every class admits a value for every applicable attribute — the
+/// joint-satisfiability check really does guarantee instances can
+/// exist. (The checker tests pairwise overlap; this probes whether
+/// higher-order conflicts slip through on realistic workloads.)
+#[test]
+fn accepted_classes_are_satisfiable() {
+    for seed in seeds(0x5A71, 30, 1000, 1200) {
         let gen = generate(&HierarchyParams { seed, classes: 40, ..Default::default() });
         let schema = &gen.schema;
         let ctx = excuses::types::TypeContext::new(schema);
@@ -254,7 +268,7 @@ proptest! {
             }
             for attr in schema.applicable_attrs(class) {
                 if let Some(ty) = ctx.attr_type(&facts, attr) {
-                    prop_assert!(
+                    assert!(
                         !ty.is_never(),
                         "seed {}: {}.{} accepted but unsatisfiable",
                         seed,
@@ -267,24 +281,21 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// The §5.2 ladder is a lattice: Strict is the strictest rule, and the
-    /// final (Correct) rule implies both of the permissive failures —
-    /// acceptance under Correct always entails acceptance under Broadened
-    /// and under MemberOfExcuser (they drop one conjunct each).
-    #[test]
-    fn semantics_ladder_implications(seed in 0u64..150) {
+/// The §5.2 ladder is a lattice: Strict is the strictest rule, and the
+/// final (Correct) rule implies both of the permissive failures —
+/// acceptance under Correct always entails acceptance under Broadened
+/// and under MemberOfExcuser (they drop one conjunct each).
+#[test]
+fn semantics_ladder_implications() {
+    for seed in seeds(0x1ADD, 20, 0, 150) {
         let gen = generate(&HierarchyParams { seed, classes: 25, ..Default::default() });
         let schema = &gen.schema;
         let (mut store, objects) = populate(schema, &PopulateParams { per_class: 3, seed });
         // Perturb some values so not everything is valid.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5EED);
-        use rand::prelude::*;
+        let mut rng = SplitMix64::new(seed ^ 0x5EED);
         for &o in objects.iter().step_by(3) {
-            if let Some(&attr) = gen.attr_syms.choose(&mut rng) {
-                if let Some(&tok) = gen.token_syms.choose(&mut rng) {
+            if let Some(&attr) = rng.choose(&gen.attr_syms) {
+                if let Some(&tok) = rng.choose(&gen.token_syms) {
                     store.set_attr(o, attr, excuses::model::Value::Tok(tok));
                 }
             }
@@ -299,11 +310,11 @@ proptest! {
             let broadened = judge(Semantics::Broadened, o);
             let member = judge(Semantics::MemberOfExcuser, o);
             if strict {
-                prop_assert!(correct && broadened && member, "Strict must imply all others");
+                assert!(correct && broadened && member, "Strict must imply all others");
             }
             if correct {
-                prop_assert!(broadened, "Correct must imply Broadened");
-                prop_assert!(member, "Correct must imply MemberOfExcuser");
+                assert!(broadened, "Correct must imply Broadened");
+                assert!(member, "Correct must imply MemberOfExcuser");
             }
         }
     }
