@@ -1,0 +1,157 @@
+//! `bench-diff` — the CLI half of the continuous-benchmark gate.
+//!
+//! Two subcommands (see `scripts/bench_gate.sh` for the workflow):
+//!
+//! * `bench-diff collect <results.ndjson> <out.json>` — wraps the JSON
+//!   lines the harness wrote under `CHC_BENCH_JSON` into a BENCH.json
+//!   document: schema tag, git revision, a per-bench noise threshold
+//!   suggested from the observed sample spread, and a recorder counter
+//!   snapshot from a fixed reference workload.
+//! * `bench-diff compare <baseline.json> <fresh.json> [--threshold X]`
+//!   — prints a comparison table and exits 1 if any bench regressed
+//!   (or vanished); see `chc_bench::gate` for the regression rule.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use chc_bench::gate::{self, BenchDoc, GateEntry};
+use chc_obs::json::{self, JsonValue};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("collect") => collect(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bench-diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bench-diff collect <results.ndjson> <out.json>
+  bench-diff compare <baseline.json> <fresh.json> [--threshold X]";
+
+fn collect(args: &[String]) -> Result<ExitCode, String> {
+    let [ndjson, out] = args else {
+        return Err(USAGE.to_string());
+    };
+    let text = std::fs::read_to_string(ndjson).map_err(|e| format!("{ndjson}: {e}"))?;
+    let mut results = Vec::new();
+    for line in json::parse_lines(&text)? {
+        if line.get("type").and_then(JsonValue::as_str) != Some("bench") {
+            continue;
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            line.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("bench line missing `{key}`: {}", line.render()))
+        };
+        let (median, min, max) = (num("median_ns")?, num("min_ns")?, num("max_ns")?);
+        results.push(GateEntry {
+            id: line
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .ok_or("bench line missing `id`")?
+                .to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: num("samples")? as u64,
+            iters: num("iters")? as u64,
+            threshold: Some(gate::suggested_threshold(min, max, median)),
+        });
+    }
+    if results.is_empty() {
+        return Err(format!("{ndjson}: no bench lines (was CHC_BENCH_JSON set?)"));
+    }
+    let doc = BenchDoc {
+        git_rev: git_rev(),
+        results,
+        counters: reference_counters(),
+    };
+    std::fs::write(out, doc.to_json().render() + "\n").map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "bench-diff: collected {} benches at {} -> {out}",
+        doc.results.len(),
+        doc.git_rev
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut threshold = gate::DEFAULT_THRESHOLD;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--threshold=") {
+            threshold = v.parse().map_err(|e| format!("--threshold: {e}"))?;
+        } else if a == "--threshold" {
+            threshold = it
+                .next()
+                .ok_or("--threshold needs a value")?
+                .parse()
+                .map_err(|e| format!("--threshold: {e}"))?;
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let read = |p: &str| -> Result<BenchDoc, String> {
+        BenchDoc::parse(&std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?)
+            .map_err(|e| format!("{p}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let fresh = read(fresh_path)?;
+    let cmp = gate::compare(&baseline, &fresh, threshold);
+    print!("{}", cmp.render());
+    println!(
+        "baseline: {} ({baseline_path})\nfresh:    {} ({fresh_path})",
+        baseline.git_rev, fresh.git_rev
+    );
+    if cmp.failed() {
+        println!("bench-diff: FAIL — regression beyond the noise threshold");
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("bench-diff: ok");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Counter snapshot from a fixed reference workload: checking the
+/// deterministic 400-class schema. Counters are exact (no timing), so
+/// any drift between baseline and fresh runs is a real behavior change,
+/// visible in BENCH.json diffs even when wall time moves with the host.
+fn reference_counters() -> BTreeMap<String, u64> {
+    let stats = Arc::new(chc_obs::StatsRecorder::new());
+    {
+        let _scope = chc_obs::scoped(stats.clone());
+        let schema = chc_bench::sized_schema(400);
+        assert!(chc_core::check(&schema).is_ok(), "reference schema checks clean");
+    }
+    stats
+        .counters()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}

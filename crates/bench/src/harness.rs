@@ -1,15 +1,102 @@
 //! A minimal benchmark harness with a Criterion-shaped surface.
 //!
 //! The offline build cannot pull Criterion, so the `[[bench]]` targets
-//! (which keep `harness = false`) run on this ~100-line stand-in: warm
-//! up, run timed batches until the measurement budget is spent, and
-//! report the median batch time per iteration. It is good enough to
-//! spot the order-of-magnitude effects the experiments are about
-//! (O(depth) vs. O(1) lookups, ε-scaling); EXPERIMENTS.md tables come
-//! from the `report` binary, not from here.
+//! (which keep `harness = false`) run on this stand-in: warm up, run
+//! timed batches until the measurement budget is spent, and report the
+//! median batch time per iteration. It is good enough to spot the
+//! order-of-magnitude effects the experiments are about (O(depth) vs.
+//! O(1) lookups, ε-scaling); EXPERIMENTS.md tables come from the
+//! `report` binary, not from here.
+//!
+//! ## Machine-readable results and the bench gate
+//!
+//! Every result is also collected as a [`BenchResult`]; when the
+//! `CHC_BENCH_JSON` environment variable names a file, `criterion_main!`
+//! appends one JSON line per result to it (the `bench-diff collect`
+//! input — see `scripts/bench_gate.sh`). Environment knobs, all
+//! optional, exist so the regression gate can run the whole suite
+//! quickly and reproducibly; they *override* per-group settings:
+//!
+//! * `CHC_BENCH_SAMPLE_SIZE` — timed samples per bench;
+//! * `CHC_BENCH_MEASUREMENT_MS` / `CHC_BENCH_WARMUP_MS` — budgets;
+//! * `CHC_BENCH_SLOW` — test-only: benches whose id contains this
+//!   substring run their inner loop twice per counted iteration, a
+//!   deliberate ~2× regression for exercising the gate end to end.
 
 use std::hint::black_box as bb;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use chc_obs::json::JsonValue;
+
+/// One measured benchmark, as flushed to `CHC_BENCH_JSON`.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/bench` identifier, e.g. `E1_check_schema/400`.
+    pub id: String,
+    /// Median per-iteration time over the samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per timed batch (calibrated).
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// The result as one line of the `CHC_BENCH_JSON` sink.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("type", JsonValue::string("bench")),
+            ("id", JsonValue::string(&self.id)),
+            ("median_ns", JsonValue::number(self.median_ns)),
+            ("min_ns", JsonValue::number(self.min_ns)),
+            ("max_ns", JsonValue::number(self.max_ns)),
+            ("samples", JsonValue::number(self.samples as f64)),
+            ("iters", JsonValue::number(self.iters as f64)),
+        ])
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Results measured so far in this process (drains the buffer).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("bench results lock"))
+}
+
+/// Appends every collected result to `$CHC_BENCH_JSON` as JSON lines,
+/// if the variable is set. Called by `criterion_main!` after the last
+/// group; harmless to call twice (the buffer drains).
+pub fn flush_json() {
+    let results = take_results();
+    let Ok(path) = std::env::var("CHC_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() || results.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("CHC_BENCH_JSON={path}: {e}"));
+    for r in &results {
+        writeln!(f, "{}", r.to_json().render()).expect("bench json write");
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_duration_ms(name: &str) -> Option<Duration> {
+    Some(Duration::from_millis(env_usize(name)? as u64))
+}
 
 /// Re-export of [`std::hint::black_box`] under Criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -26,19 +113,22 @@ pub struct Group {
 }
 
 impl Group {
-    /// Number of timed samples to collect (default 20).
+    /// Number of timed samples to collect (default 20;
+    /// `CHC_BENCH_SAMPLE_SIZE` wins over this).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(3);
         self
     }
 
-    /// Total measurement budget per benchmark (default 2s).
+    /// Total measurement budget per benchmark (default 2s;
+    /// `CHC_BENCH_MEASUREMENT_MS` wins over this).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
         self.measurement = d;
         self
     }
 
-    /// Warm-up budget per benchmark (default 500ms).
+    /// Warm-up budget per benchmark (default 500ms;
+    /// `CHC_BENCH_WARMUP_MS` wins over this).
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
         self.warm_up = d;
         self
@@ -62,9 +152,19 @@ impl Group {
     }
 
     fn run(&mut self, id: String, mut routine: impl FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{}", self.name, id);
+        let sample_size = env_usize("CHC_BENCH_SAMPLE_SIZE")
+            .map(|n| n.max(3))
+            .unwrap_or(self.sample_size);
+        let measurement =
+            env_duration_ms("CHC_BENCH_MEASUREMENT_MS").unwrap_or(self.measurement);
+        let warm_up = env_duration_ms("CHC_BENCH_WARMUP_MS").unwrap_or(self.warm_up);
+        let slow = std::env::var("CHC_BENCH_SLOW")
+            .is_ok_and(|needle| !needle.is_empty() && full_id.contains(&needle));
         let mut b = Bencher {
             iters: 1,
             elapsed: Duration::ZERO,
+            slow,
         };
         // Calibrate: find an iteration count giving batches of ≥200µs so
         // Instant overhead is negligible.
@@ -76,14 +176,14 @@ impl Group {
             b.iters *= 4;
         }
         // Warm up.
-        let warm_deadline = Instant::now() + self.warm_up;
+        let warm_deadline = Instant::now() + warm_up;
         while Instant::now() < warm_deadline {
             routine(&mut b);
         }
         // Measure.
-        let mut samples = Vec::with_capacity(self.sample_size);
-        let deadline = Instant::now() + self.measurement;
-        while samples.len() < self.sample_size {
+        let mut samples = Vec::with_capacity(sample_size);
+        let deadline = Instant::now() + measurement;
+        while samples.len() < sample_size {
             routine(&mut b);
             samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
             if Instant::now() > deadline && samples.len() >= 3 {
@@ -93,6 +193,14 @@ impl Group {
         samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         println!("{}/{:<24} time: [{}]", self.name, id, fmt_ns(median));
+        RESULTS.lock().expect("bench results lock").push(BenchResult {
+            id: full_id,
+            median_ns: median,
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+            samples: samples.len(),
+            iters: b.iters,
+        });
     }
 
     /// Ends the group (printing is incremental; this is a no-op kept for
@@ -106,14 +214,20 @@ impl Group {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    slow: bool,
 }
 
 impl Bencher {
-    /// Times `f`, running it in calibrated batches.
+    /// Times `f`, running it in calibrated batches. Under
+    /// `CHC_BENCH_SLOW` (matching id) the closure runs twice per
+    /// counted iteration — an honest ~2× slowdown for gate testing.
     pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
         let start = Instant::now();
         for _ in 0..self.iters {
             bb(f());
+            if self.slow {
+                bb(f());
+            }
         }
         self.elapsed = start.elapsed();
     }
@@ -209,7 +323,8 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point: `criterion_main!(benches)`.
+/// Declares the bench entry point: `criterion_main!(benches)`. After
+/// the last group it flushes collected results to `$CHC_BENCH_JSON`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($name:ident),+ $(,)?) => {
@@ -217,6 +332,7 @@ macro_rules! criterion_main {
             // `--bench` is passed by cargo; filters are ignored.
             let _args: Vec<String> = std::env::args().collect();
             $( $name(); )+
+            $crate::harness::flush_json();
         }
     };
 }

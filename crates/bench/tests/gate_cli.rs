@@ -1,0 +1,110 @@
+//! End-to-end tests of the `bench-diff` binary: collect JSON lines into
+//! a BENCH.json document, compare documents, exit codes. The bench
+//! *suite* is too slow for a test, so the harness output is faked; the
+//! document format is exactly what `harness::flush_json` writes.
+
+use std::path::PathBuf;
+use std::process::Output;
+
+use chc_bench::gate::BenchDoc;
+
+fn bench_diff(args: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+        .args(args)
+        .output()
+        .expect("bench-diff runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("chc-gate-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const NDJSON: &str = r#"
+{"type":"bench","id":"g/fast","median_ns":100,"min_ns":95,"max_ns":110,"samples":10,"iters":64}
+{"type":"bench","id":"g/slow","median_ns":5000000,"min_ns":4800000,"max_ns":5300000,"samples":10,"iters":1}
+{"type":"other","ignored":1}
+"#;
+
+#[test]
+fn collect_builds_a_parsable_document() {
+    let ndjson = tmp("in.ndjson");
+    let out = tmp("collected.json");
+    std::fs::write(&ndjson, NDJSON).unwrap();
+    let r = bench_diff(&["collect", ndjson.to_str().unwrap(), out.to_str().unwrap()]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stderr));
+    let doc = BenchDoc::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(doc.results.len(), 2, "non-bench lines are skipped");
+    let fast = doc.entry("g/fast").unwrap();
+    assert_eq!(fast.median_ns, 100.0);
+    assert!(fast.threshold.is_some(), "collect seeds per-bench thresholds");
+    // The reference-workload counter snapshot is part of the document.
+    assert!(!doc.counters.is_empty());
+    assert!(
+        doc.counters.keys().any(|k| k.starts_with("subtype.")),
+        "{:?}",
+        doc.counters
+    );
+}
+
+#[test]
+fn compare_passes_identical_runs_and_fails_doubled_ones() {
+    let ndjson = tmp("cmp.ndjson");
+    let baseline = tmp("baseline.json");
+    std::fs::write(&ndjson, NDJSON).unwrap();
+    assert!(bench_diff(&["collect", ndjson.to_str().unwrap(), baseline.to_str().unwrap()])
+        .status
+        .success());
+
+    // Identical fresh run: ok, exit 0.
+    let r = bench_diff(&[
+        "compare",
+        baseline.to_str().unwrap(),
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(r.status.success(), "{}", String::from_utf8_lossy(&r.stdout));
+    assert!(String::from_utf8_lossy(&r.stdout).contains("bench-diff: ok"));
+
+    // Every statistic doubled — a systematic 2× regression: exit 1.
+    let mut doc = BenchDoc::parse(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+    for e in &mut doc.results {
+        e.median_ns *= 2.0;
+        e.min_ns *= 2.0;
+        e.max_ns *= 2.0;
+    }
+    let fresh = tmp("doubled.json");
+    std::fs::write(&fresh, doc.to_json().render()).unwrap();
+    let r = bench_diff(&[
+        "compare",
+        baseline.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(r.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&r.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_and_bad_files_exit_two() {
+    assert_eq!(bench_diff(&[]).status.code(), Some(2));
+    assert_eq!(bench_diff(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        bench_diff(&["collect", "/nonexistent.ndjson", "/tmp/x.json"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(
+        bench_diff(&["compare", "/nonexistent.json", "/nonexistent.json"])
+            .status
+            .code(),
+        Some(2)
+    );
+    // An empty results file is an error, not a silently-passing gate.
+    let empty = tmp("empty.ndjson");
+    std::fs::write(&empty, "{\"type\":\"other\"}\n").unwrap();
+    let r = bench_diff(&["collect", empty.to_str().unwrap(), "/tmp/x.json"]);
+    assert_eq!(r.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&r.stderr).contains("no bench lines"));
+}

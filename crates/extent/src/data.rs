@@ -71,6 +71,7 @@ impl LoadedData {
 /// Parses and loads a data file against `schema`. Two passes: objects and
 /// memberships first (so `@refs` may point forward), then attributes.
 pub fn load_data(schema: &Schema, src: &str) -> Result<LoadedData, DataError> {
+    let _span = chc_obs::span(chc_obs::names::SPAN_EXTENT_LOAD);
     let mut store = ExtentStore::new(schema);
     let mut names: Vec<(String, Oid)> = Vec::new();
     let mut by_name: HashMap<String, Oid> = HashMap::new();

@@ -281,6 +281,36 @@ mod tests {
     }
 
     #[test]
+    fn fanout_histogram_summarizes_propagation() {
+        let s = schema();
+        let rec = std::sync::Arc::new(chc_obs::StatsRecorder::new());
+        {
+            let _g = chc_obs::scoped(rec.clone());
+            let mut store = ExtentStore::new(&s);
+            let onc = s.class_by_name("Oncologist").unwrap();
+            let person = s.class_by_name("Person").unwrap();
+            for _ in 0..20 {
+                store.create(&s, &[onc]); // fan-out 3: Oncologist, Physician, Person
+            }
+            store.create(&s, &[person]); // fan-out 1
+        }
+        let h = rec
+            .histogram_summary(chc_obs::names::EXTENT_FANOUT_HIST)
+            .expect("fanout histogram recorded");
+        assert_eq!(h.count, 21);
+        assert_eq!((h.min, h.max), (1, 3));
+        // The log₂-bucket percentiles: 20 of 21 samples are 3 (bucket
+        // [2,3]), so every reported percentile is the bucket top 3;
+        // ordering p50 ≤ p95 ≤ p99 ≤ max must always hold.
+        assert_eq!((h.p50, h.p95, h.p99), (3, 3, 3));
+        assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+        assert_eq!(
+            rec.counter_value(chc_obs::names::EXTENT_ADD_FANOUT),
+            20 * 3 + 1
+        );
+    }
+
+    #[test]
     fn destroy_clears_everything() {
         let s = schema();
         let mut store = ExtentStore::new(&s);

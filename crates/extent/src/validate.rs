@@ -13,6 +13,7 @@ pub fn validate_stored(
     opts: ValidationOptions,
     oid: Oid,
 ) -> Vec<Violation> {
+    let _span = chc_obs::span(chc_obs::names::SPAN_VALIDATE_STORED);
     validate_object(schema, store, opts, oid, &store.classes_of(oid))
 }
 

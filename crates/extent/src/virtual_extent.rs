@@ -43,6 +43,7 @@ pub fn virtual_extent(store: &ExtentStore, info: &VirtualClassInfo) -> BTreeSet<
 /// `InstanceView` calls see virtual classes like any other. Call after a
 /// batch of explicit changes.
 pub fn refresh_virtual_extents(store: &mut ExtentStore, v: &Virtualized) {
+    let _span = chc_obs::span(chc_obs::names::SPAN_EXTENT_REFRESH);
     for info in &v.virtuals {
         let fresh = virtual_extent(store, info);
         let stale: Vec<Oid> = store

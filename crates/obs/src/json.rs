@@ -1,7 +1,8 @@
-//! A deliberately tiny JSON subset: flat objects with string keys and
-//! string/number values — exactly what the line-delimited event sink
-//! emits. The build environment is offline, so no serde; ~100 lines of
-//! hand-rolled emitter and parser keep the sink round-trippable.
+//! A deliberately tiny JSON subset: objects with string keys, arrays,
+//! strings, and numbers — what the line-delimited event sink and the
+//! Chrome trace-event exporter emit. The build environment is offline,
+//! so no serde; ~150 lines of hand-rolled emitter and parser keep every
+//! sink round-trippable.
 
 use std::collections::BTreeMap;
 
@@ -12,8 +13,10 @@ pub enum JsonValue {
     Str(String),
     /// A finite number.
     Num(f64),
-    /// A flat object; nested objects are not part of the subset.
+    /// An object; values may be any subset value, including objects.
     Obj(BTreeMap<String, JsonValue>),
+    /// An array of subset values.
+    Arr(Vec<JsonValue>),
 }
 
 impl JsonValue {
@@ -35,6 +38,11 @@ impl JsonValue {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         )
+    }
+
+    /// An array from values.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Arr(items.into_iter().collect())
     }
 
     /// Field lookup on an object; `None` on other variants.
@@ -61,6 +69,14 @@ impl JsonValue {
         }
     }
 
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Renders as compact JSON (sorted keys, no whitespace).
     pub fn render(&self) -> String {
         match self {
@@ -78,6 +94,10 @@ impl JsonValue {
                     .map(|(k, v)| format!("{}:{}", render_string(k), v.render()))
                     .collect();
                 format!("{{{}}}", fields.join(","))
+            }
+            JsonValue::Arr(items) => {
+                let parts: Vec<String> = items.iter().map(JsonValue::render).collect();
+                format!("[{}]", parts.join(","))
             }
         }
     }
@@ -153,9 +173,33 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<JsonValue, String> {
         match self.bytes.get(self.pos) {
             Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b'-' | b'0'..=b'9') => self.number(),
             other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
         }
     }
 
@@ -285,5 +329,38 @@ mod tests {
         assert!(parse("{\"a\":}").is_err());
         assert!(parse("{'a':1}").is_err());
         assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("[1 2]").is_err());
+    }
+
+    #[test]
+    fn arrays_and_nesting_round_trip() {
+        let v = JsonValue::object([
+            (
+                "traceEvents",
+                JsonValue::array([
+                    JsonValue::object([
+                        ("ph", JsonValue::string("B")),
+                        ("ts", JsonValue::number(1.5)),
+                        ("args", JsonValue::object([("n", JsonValue::number(3.0))])),
+                    ]),
+                    JsonValue::object([("ph", JsonValue::string("E"))]),
+                ]),
+            ),
+            ("displayTimeUnit", JsonValue::string("ns")),
+        ]);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap(), v);
+        let events = parse(&text).unwrap();
+        let arr = events.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0]
+                .get("args")
+                .and_then(|a| a.get("n"))
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(parse("[]").unwrap(), JsonValue::Arr(vec![]));
     }
 }

@@ -22,6 +22,12 @@
 //! table ([`StatsRecorder::render_counters`]), or line-delimited JSON
 //! ([`StatsRecorder::to_json_lines`]).
 //!
+//! [`TraceRecorder`] keeps the event-level timeline instead: a bounded
+//! ring of timestamped span begin/end events exportable as Chrome
+//! trace-event JSON (Perfetto) or folded stacks (flamegraphs) — see
+//! [`trace`]. [`FanoutRecorder`] feeds one run to several recorders at
+//! once (the CLI's `--trace --trace-out` combination).
+//!
 //! Recorders can be installed two ways:
 //!
 //! * [`set_global`] — process-wide, used by the `chc` CLI's
@@ -52,8 +58,10 @@
 pub mod json;
 pub mod names;
 mod stats;
+pub mod trace;
 
 pub use stats::{HistogramSummary, SpanNode, StatsRecorder};
+pub use trace::{FanoutRecorder, TraceEvent, TraceEventKind, TraceRecorder};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -68,6 +68,20 @@ pub const SPAN_STORAGE_BUILD: &str = "storage.build";
 /// Ancestor-walk steps taken by default-inheritance `default_range`.
 pub const BASELINE_SEARCH_STEPS: &str = "baseline.search_steps";
 
+// --- chc-sdl (compilation) ---
+
+/// Span: parsing + lowering SDL source into a `Schema`.
+pub const SPAN_SDL_COMPILE: &str = "sdl.compile";
+
+// --- chc-extent (data loading, E5) ---
+
+/// Span: parsing + loading a `.chd` data file into an `ExtentStore`.
+pub const SPAN_EXTENT_LOAD: &str = "extent.load";
+/// Span: recomputing every virtual class's extent (§5.6).
+pub const SPAN_EXTENT_REFRESH: &str = "extent.refresh_virtual";
+/// Span: validating one stored object against its classes.
+pub const SPAN_VALIDATE_STORED: &str = "validate.stored";
+
 // --- chc CLI ---
 
 /// Span: the whole CLI command (`cli.check`, `cli.validate`, ...).

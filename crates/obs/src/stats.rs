@@ -90,7 +90,37 @@ impl Histogram {
             } else {
                 self.sum as f64 / self.count as f64
             },
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
         }
+    }
+
+    /// Upper-bound percentile estimate from the log₂ buckets: the value
+    /// returned is the top of the bucket holding the p-th sample,
+    /// clamped into `[min, max]` — exact for 0/1-valued samples, within
+    /// 2× otherwise, which is all the power-of-two questions ("did the
+    /// fan-out tail blow up?") need.
+    fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let top = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return top.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -107,6 +137,12 @@ pub struct HistogramSummary {
     pub max: u64,
     /// Mean sample, or 0.0 if empty.
     pub mean: f64,
+    /// Median estimate (upper bucket bound, clamped to `[min, max]`).
+    pub p50: u64,
+    /// 95th-percentile estimate (same estimator as `p50`).
+    pub p95: u64,
+    /// 99th-percentile estimate (same estimator as `p50`).
+    pub p99: u64,
 }
 
 #[derive(Debug, Default)]
@@ -204,8 +240,8 @@ impl StatsRecorder {
         for (name, h) in &inner.histograms {
             let s = h.summary();
             out.push_str(&format!(
-                "{name:width$}  n={} sum={} min={} mean={:.1} max={}\n",
-                s.count, s.sum, s.min, s.mean, s.max
+                "{name:width$}  n={} sum={} min={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                s.count, s.sum, s.min, s.mean, s.p50, s.p95, s.p99, s.max
             ));
         }
         out
@@ -234,6 +270,9 @@ impl StatsRecorder {
                 ("count", JsonValue::number(s.count as f64)),
                 ("sum", JsonValue::number(s.sum as f64)),
                 ("min", JsonValue::number(s.min as f64)),
+                ("p50", JsonValue::number(s.p50 as f64)),
+                ("p95", JsonValue::number(s.p95 as f64)),
+                ("p99", JsonValue::number(s.p99 as f64)),
                 ("max", JsonValue::number(s.max as f64)),
             ]);
             out.push_str(&obj.render());
@@ -387,6 +426,36 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 10);
         assert!((s.mean - 4.0).abs() < 1e-9);
+        // Percentiles are upper-bucket-bound estimates, ordered and
+        // clamped into [min, max]: samples 1,2,3,4,10 → the 3rd sample
+        // (p50) sits in bucket [2,3], the 5th (p95/p99) in [8,15]→max.
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.p95, 10);
+        assert_eq!(s.p99, 10);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn percentiles_on_uniform_and_constant_streams() {
+        let r = StatsRecorder::new();
+        for v in 0..1000u64 {
+            r.histogram("u", v);
+        }
+        let s = r.histogram_summary("u").unwrap();
+        // p50 of 0..999 lands in the [256,511] bucket; the estimator
+        // reports the bucket top.
+        assert_eq!(s.p50, 511);
+        assert_eq!(s.p95, 999); // bucket top 1023 clamps to max
+        let r2 = StatsRecorder::new();
+        for _ in 0..100 {
+            r2.histogram("c", 7);
+        }
+        let s2 = r2.histogram_summary("c").unwrap();
+        assert_eq!((s2.p50, s2.p95, s2.p99), (7, 7, 7));
+        let r3 = StatsRecorder::new();
+        r3.histogram("zero", 0);
+        let s3 = r3.histogram_summary("zero").unwrap();
+        assert_eq!((s3.p50, s3.p99), (0, 0));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::token::Pos;
 /// assert!(schema.is_strict_subclass(employee, person));
 /// ```
 pub fn compile(src: &str) -> Result<Schema, SdlError> {
+    let _span = chc_obs::span(chc_obs::names::SPAN_SDL_COMPILE);
     lower(&parse(src)?)
 }
 

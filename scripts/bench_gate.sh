@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Continuous-benchmark regression gate: run the suite quickly, collect
+# machine-readable results, and compare against the committed baseline.
+#
+#   scripts/bench_gate.sh            # compare against BENCH_BASELINE.json
+#   scripts/bench_gate.sh --seed     # (re)write BENCH_BASELINE.json instead
+#
+# The fresh results land in BENCH.json at the repo root (gitignored; CI
+# uploads it as an artifact). Knobs — all overridable from the caller's
+# environment — keep a full gate run under ~a minute:
+#
+#   CHC_BENCH_SAMPLE_SIZE     timed samples per bench        (default 10)
+#   CHC_BENCH_MEASUREMENT_MS  measurement budget per bench   (default 250)
+#   CHC_BENCH_WARMUP_MS       warm-up budget per bench       (default 100)
+#   CHC_GATE_THRESHOLD        default regression threshold   (default 0.10)
+#
+# To see the gate fail on purpose, slow one bench by substring:
+#   CHC_BENCH_SLOW=E1_check_schema scripts/bench_gate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CHC_BENCH_SAMPLE_SIZE="${CHC_BENCH_SAMPLE_SIZE:-10}"
+export CHC_BENCH_MEASUREMENT_MS="${CHC_BENCH_MEASUREMENT_MS:-250}"
+export CHC_BENCH_WARMUP_MS="${CHC_BENCH_WARMUP_MS:-100}"
+
+baseline=BENCH_BASELINE.json
+fresh=BENCH.json
+ndjson="$(mktemp "${TMPDIR:-/tmp}/chc-bench.XXXXXX.ndjson")"
+trap 'rm -f "$ndjson"' EXIT
+
+echo "==> cargo bench -q --offline -p chc-bench (results -> $ndjson)"
+CHC_BENCH_JSON="$ndjson" cargo bench -q --offline -p chc-bench
+
+echo "==> bench-diff collect"
+cargo run -q --offline -p chc-bench --bin bench-diff -- collect "$ndjson" "$fresh"
+
+if [[ "${1:-}" == "--seed" || ! -f "$baseline" ]]; then
+    cp "$fresh" "$baseline"
+    echo "==> seeded $baseline (commit it to arm the gate)"
+    exit 0
+fi
+
+echo "==> bench-diff compare $baseline $fresh"
+cargo run -q --offline -p chc-bench --bin bench-diff -- \
+    compare "$baseline" "$fresh" --threshold "${CHC_GATE_THRESHOLD:-0.10}"

@@ -1,7 +1,7 @@
 //! `chc` — a command-line front end for schemas with contradictions.
 //!
 //! ```text
-//! chc [--trace] [--stats] <command> ...
+//! chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <command> ...
 //!
 //! chc check <schema.sdl>                 type-check a schema (exit 1 on errors)
 //! chc print <schema.sdl>                 canonical pretty-printed form
@@ -12,10 +12,17 @@
 //! chc validate <schema.sdl> <data.chd>   load instance data and validate it
 //! ```
 //!
-//! The global `--trace` flag prints a span tree (what ran, how long) and
-//! `--stats` prints the counter table (subtype queries, classes checked,
-//! …) after the command completes. Both install a
-//! [`chc_obs::StatsRecorder`] for the duration of the run.
+//! Global flags may appear anywhere, before or after the subcommand.
+//! `--trace` prints a span tree (what ran, how long) and `--stats` the
+//! counter table (subtype queries, classes checked, …) after the command
+//! completes; both aggregate through a [`chc_obs::StatsRecorder`].
+//! `--trace-out <file>` writes the event-level timeline as Chrome
+//! trace-event JSON (open it in <https://ui.perfetto.dev> or
+//! `chrome://tracing`) and `--flame-out <file>` writes folded stacks for
+//! flamegraph tools; both capture through a [`chc_obs::TraceRecorder`]
+//! and compose freely with `--trace`/`--stats`. All reporting and
+//! flushing happens even when the command fails — a failing `check` is
+//! exactly the run whose trace you want.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,43 +35,125 @@ use excuses::types::{
     cond_of, render_cond, render_tyset, EntityFacts, TypeContext,
 };
 
+/// Global observability flags, accepted anywhere on the command line.
+#[derive(Default)]
+struct Flags {
+    trace: bool,
+    stats: bool,
+    trace_out: Option<String>,
+    flame_out: Option<String>,
+}
+
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = take_flag(&mut args, "--trace");
-    let stats = take_flag(&mut args, "--stats");
-    let recorder = (trace || stats).then(|| {
-        let r = Arc::new(chc_obs::StatsRecorder::new());
-        chc_obs::set_global(r.clone());
-        r
-    });
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, flags) = match take_flags(raw) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let stats_rec = (flags.trace || flags.stats).then(|| Arc::new(chc_obs::StatsRecorder::new()));
+    let trace_rec = (flags.trace_out.is_some() || flags.flame_out.is_some())
+        .then(|| Arc::new(chc_obs::TraceRecorder::new()));
+    let mut sinks: Vec<Arc<dyn chc_obs::Recorder>> = Vec::new();
+    if let Some(r) = &stats_rec {
+        sinks.push(r.clone());
+    }
+    if let Some(r) = &trace_rec {
+        sinks.push(r.clone());
+    }
+    let installed = !sinks.is_empty();
+    if installed {
+        let recorder: Arc<dyn chc_obs::Recorder> = if sinks.len() == 1 {
+            sinks.pop().expect("one sink")
+        } else {
+            Arc::new(chc_obs::FanoutRecorder::new(sinks))
+        };
+        chc_obs::set_global(recorder);
+    }
     let outcome = run(&args);
-    if let Some(r) = &recorder {
+    // Report and flush unconditionally: a failing command is exactly the
+    // run whose trace and counters matter most.
+    if installed {
         chc_obs::clear_global();
-        if trace {
+    }
+    if let Some(r) = &stats_rec {
+        if flags.trace {
             print!("{}", r.render_tree());
         }
-        if stats {
+        if flags.stats {
             print!("{}", r.render_counters());
         }
     }
-    match outcome {
+    let mut flush_err = None;
+    if let Some(r) = &trace_rec {
+        if let Some(path) = &flags.trace_out {
+            if let Err(e) = std::fs::write(path, r.to_chrome_trace()) {
+                flush_err = Some(format!("{path}: {e}"));
+            }
+        }
+        if let Some(path) = &flags.flame_out {
+            if let Err(e) = std::fs::write(path, r.to_folded_stacks()) {
+                flush_err = Some(format!("{path}: {e}"));
+            }
+        }
+    }
+    let code = match outcome {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)
         }
+    };
+    match flush_err {
+        Some(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+        None => code,
     }
 }
 
-/// Removes every occurrence of `flag` from `args`; true if any was present.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    let before = args.len();
-    args.retain(|a| a != flag);
-    args.len() != before
+/// Extracts the global flags from `args`, wherever they appear relative
+/// to the subcommand; `--trace-out f.json` and `--trace-out=f.json` are
+/// both accepted. Returns the remaining positional arguments.
+fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str, inline: Option<&str>| -> Result<String, String> {
+            match inline {
+                Some(v) if !v.is_empty() => Ok(v.to_string()),
+                Some(_) => Err(format!("{name} needs a file path")),
+                None => it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("{name} needs a file path")),
+            }
+        };
+        match arg.as_str() {
+            "--trace" => flags.trace = true,
+            "--stats" => flags.stats = true,
+            "--trace-out" => flags.trace_out = Some(value_of("--trace-out", None)?),
+            "--flame-out" => flags.flame_out = Some(value_of("--flame-out", None)?),
+            other => {
+                if let Some(v) = other.strip_prefix("--trace-out=") {
+                    flags.trace_out = Some(value_of("--trace-out", Some(v))?);
+                } else if let Some(v) = other.strip_prefix("--flame-out=") {
+                    flags.flame_out = Some(value_of("--flame-out", Some(v))?);
+                } else {
+                    rest.push(arg);
+                }
+            }
+        }
+    }
+    Ok((rest, flags))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] <check|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <check|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;

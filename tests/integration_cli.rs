@@ -194,6 +194,33 @@ fn validate_with_trace_prints_span_tree() {
 }
 
 #[test]
+fn global_flags_accepted_before_and_after_subcommand() {
+    let path = write_schema("order.sdl", CLEAN);
+    let p = path.to_str().unwrap();
+    // `chc --stats check s.sdl` and `chc check --stats s.sdl` are the
+    // same command; value-carrying flags move around identically.
+    let before = chc(&["--stats", "check", p]);
+    let after = chc(&["check", "--stats", p]);
+    assert!(before.status.success() && after.status.success());
+    assert_eq!(before.stdout, after.stdout);
+    assert!(String::from_utf8_lossy(&after.stdout).contains("check.classes"));
+
+    let out_dir = std::env::temp_dir().join("chc-cli-tests");
+    let t1 = out_dir.join("order1.json");
+    let t2 = out_dir.join("order2.json");
+    let a = chc(&["--trace-out", t1.to_str().unwrap(), "check", p]);
+    let b = chc(&["check", "--trace-out", t2.to_str().unwrap(), p]);
+    assert!(a.status.success() && b.status.success());
+    assert!(t1.exists() && t2.exists());
+    // The `=` spelling works too, and a missing value is a clean error.
+    let eq = chc(&[&format!("--trace-out={}", t1.to_str().unwrap()), "check", p]);
+    assert!(eq.status.success());
+    let missing = chc(&["check", p, "--trace-out"]);
+    assert_eq!(missing.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--trace-out"));
+}
+
+#[test]
 fn flags_can_appear_anywhere_and_compose() {
     let path = write_schema("flags.sdl", CLEAN);
     let out = chc(&["--trace", "check", "--stats", path.to_str().unwrap()]);
