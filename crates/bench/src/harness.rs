@@ -244,14 +244,9 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 /// Entry point holding the shared defaults; mirrors `Criterion`.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

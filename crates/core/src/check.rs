@@ -283,104 +283,9 @@ fn check_joint_satisfiability(
     if minimal_count <= 1 {
         return;
     }
-    // An admission test with early exit: does the constraint (b, raw)
-    // admit some value matching `pred`, either via its own range or via an
-    // excuser branch an instance of `class` is entitled to? Allowed sets
-    // can carry hundreds of excuser ranges; they are never materialized.
-    let admits = |b: ClassId, raw: &Range, pred: &dyn Fn(&Range) -> bool| {
-        pred(raw)
-            || schema
-                .applicable_excusers(class, b, attr)
-                .any(|e| pred(&schema.excuser_spec(e).range))
-    };
-    let all_admit = |pred: &dyn Fn(&Range) -> bool| {
-        constraints.iter().all(|(b, spec)| admits(*b, &spec.range, pred))
-    };
-
-    // Kind shortcuts (a common value of that kind certainly exists).
-    if all_admit(&|r| matches!(r, Range::None))
-        || all_admit(&|r| matches!(r, Range::Str))
-        || all_admit(&|r| matches!(r, Range::Record { base: None, .. }))
-        || all_admit(&|r| {
-            matches!(
-                r,
-                Range::Class(_) | Range::AnyEntity | Range::Record { base: Some(_), .. }
-            )
-        })
-    {
-        return;
-    }
-
-    // Tokens: materialize the first constraint's admitted tokens once
-    // (any common token must be among them), then filter candidates
-    // through the remaining constraints with early-exit admission tests.
-    let (b0, spec0) = constraints[0];
-    let mut candidates: Vec<Sym> = {
-        let mut toks = std::collections::BTreeSet::new();
-        if let Range::Enum(set) = &spec0.range {
-            toks.extend(set.iter().copied());
-        }
-        for e in schema.applicable_excusers(class, b0, attr) {
-            if let Range::Enum(set) = &schema.excuser_spec(e).range {
-                toks.extend(set.iter().copied());
-            }
-        }
-        toks.into_iter().collect()
-    };
-    for (b, spec) in constraints.iter().skip(1) {
-        if candidates.is_empty() {
-            break;
-        }
-        candidates.retain(|t| {
-            admits(*b, &spec.range, &|r| matches!(r, Range::Enum(set) if set.contains(t)))
-        });
-    }
-    if !candidates.is_empty() {
-        return;
-    }
-
-    // Integers: the first constraint's admitted intervals, clipped through
-    // the rest (each further constraint's intervals are collected lazily).
-    let mut intervals: Vec<(i64, i64)> = {
-        let mut out = Vec::new();
-        if let Range::Int { lo, hi } = spec0.range {
-            out.push((lo, hi));
-        }
-        for e in schema.applicable_excusers(class, b0, attr) {
-            if let Range::Int { lo, hi } = schema.excuser_spec(e).range {
-                out.push((lo, hi));
-            }
-        }
-        out
-    };
-    for (b, spec) in constraints.iter().skip(1) {
-        if intervals.is_empty() {
-            break;
-        }
-        let mut theirs: Vec<(i64, i64)> = Vec::new();
-        if let Range::Int { lo, hi } = spec.range {
-            theirs.push((lo, hi));
-        }
-        for e in schema.applicable_excusers(class, *b, attr) {
-            if let Range::Int { lo, hi } = schema.excuser_spec(e).range {
-                theirs.push((lo, hi));
-            }
-        }
-        let mut next = Vec::new();
-        for &(alo, ahi) in &intervals {
-            for &(blo, bhi) in &theirs {
-                let lo = alo.max(blo);
-                let hi = ahi.min(bhi);
-                if lo <= hi {
-                    next.push((lo, hi));
-                }
-            }
-        }
-        next.sort();
-        next.dedup();
-        intervals = next;
-    }
-    if !intervals.is_empty() {
+    // Exact admission over the allowed sets, shared with chc-lint's
+    // incoherence lint (L001).
+    if crate::sat::admits_common_value_of(schema, class, attr, &constraints) {
         return;
     }
 

@@ -78,8 +78,26 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// Renders the diagnostic with names resolved against `schema`.
+    /// The source position of the finding's site (the attribute
+    /// declaration, falling back to the class definition), when the
+    /// schema was compiled from SDL text.
+    pub fn span(&self, schema: &Schema) -> Option<chc_model::Span> {
+        schema.source_map().site_span(self.class, Some(self.attr))
+    }
+
+    /// Renders the diagnostic with names resolved against `schema`,
+    /// prefixed with `file:line:col` when a source position is known.
     pub fn render(&self, schema: &Schema) -> String {
+        match self.span(schema) {
+            Some(span) => {
+                format!("{}: {}", schema.source_map().locate(span), self.message(schema))
+            }
+            None => self.message(schema),
+        }
+    }
+
+    /// The diagnostic message, without any position prefix.
+    pub fn message(&self, schema: &Schema) -> String {
         let class = schema.class_name(self.class);
         let attr = schema.resolve(self.attr);
         let sev = match self.severity {

@@ -26,6 +26,7 @@
 pub mod check;
 pub mod diagnostics;
 pub mod evolve;
+pub mod sat;
 pub mod semantics;
 pub mod validate;
 pub mod virtualize;
@@ -33,6 +34,7 @@ pub mod virtualize;
 pub use check::check;
 pub use diagnostics::{CheckReport, DiagKind, Diagnostic, Severity};
 pub use evolve::{affected_by_edit, recheck_incremental, Evolved};
+pub use sat::admits_common_value;
 pub use semantics::{constraint_holds, Semantics};
 pub use validate::{
     object_is_valid, validate_object, MissingPolicy, ValidationOptions, Violation,

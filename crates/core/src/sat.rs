@@ -1,0 +1,201 @@
+//! Joint admissibility of constraint sets — the value-existence test
+//! shared by the §5.1 checker and `chc-lint`'s incoherence lint (L001).
+//!
+//! Under the §5.2 semantics, an instance of `class` satisfies a
+//! constraint `(B, p: R)` either directly (`x.p ∈ R`) or through an
+//! excuser `E` it belongs to (`x ∈ E ∧ x.p ∈ S_E`). The *allowed set* of
+//! the constraint for instances of `class` is therefore `R` plus the
+//! ranges of every excuser applicable to `class`; the class can carry a
+//! value for `p` iff some single value lies in every constraint's allowed
+//! set at once.
+//!
+//! Entity-valued ranges (`Class(_)`, `AnyEntity`, refined records) are
+//! treated as mutually overlapping — a first-order approximation matching
+//! [`Range::overlaps`]: whether two entity classes share an instance is a
+//! question about extents, not the schema.
+
+use chc_model::{AttrSpec, ClassId, Range, Schema, Sym};
+
+/// Does some single value satisfy every constraint on `attr` inherited
+/// by (or declared on) `class`, with applicable excuses folded in?
+///
+/// An unconstrained attribute is trivially satisfiable. A `false` answer
+/// means `class` is *incoherent at `attr`*: no instance of the class can
+/// carry any value, whatever the extent contains.
+pub fn admits_common_value(schema: &Schema, class: ClassId, attr: Sym) -> bool {
+    let constraints = schema.constraints_on(class, attr);
+    admits_common_value_of(schema, class, attr, &constraints)
+}
+
+/// As [`admits_common_value`], over an already-collected constraint set
+/// (the checker reuses the set it fetched for pairwise reporting).
+pub fn admits_common_value_of(
+    schema: &Schema,
+    class: ClassId,
+    attr: Sym,
+    constraints: &[(ClassId, &AttrSpec)],
+) -> bool {
+    if constraints.is_empty() {
+        return true;
+    }
+
+    // An admission test with early exit: does the constraint (b, raw)
+    // admit some value matching `pred`, either via its own range or via an
+    // excuser branch an instance of `class` is entitled to? Allowed sets
+    // can carry hundreds of excuser ranges; they are never materialized.
+    let admits = |b: ClassId, raw: &Range, pred: &dyn Fn(&Range) -> bool| {
+        pred(raw)
+            || schema
+                .applicable_excusers(class, b, attr)
+                .any(|e| pred(&schema.excuser_spec(e).range))
+    };
+    let all_admit = |pred: &dyn Fn(&Range) -> bool| {
+        constraints.iter().all(|(b, spec)| admits(*b, &spec.range, pred))
+    };
+
+    // Kind shortcuts (a common value of that kind certainly exists).
+    if all_admit(&|r| matches!(r, Range::None))
+        || all_admit(&|r| matches!(r, Range::Str))
+        || all_admit(&|r| matches!(r, Range::Record { base: None, .. }))
+        || all_admit(&|r| {
+            matches!(
+                r,
+                Range::Class(_) | Range::AnyEntity | Range::Record { base: Some(_), .. }
+            )
+        })
+    {
+        return true;
+    }
+
+    // Tokens: materialize the first constraint's admitted tokens once
+    // (any common token must be among them), then filter candidates
+    // through the remaining constraints with early-exit admission tests.
+    let (b0, spec0) = constraints[0];
+    let mut candidates: Vec<Sym> = {
+        let mut toks = std::collections::BTreeSet::new();
+        if let Range::Enum(set) = &spec0.range {
+            toks.extend(set.iter().copied());
+        }
+        for e in schema.applicable_excusers(class, b0, attr) {
+            if let Range::Enum(set) = &schema.excuser_spec(e).range {
+                toks.extend(set.iter().copied());
+            }
+        }
+        toks.into_iter().collect()
+    };
+    for (b, spec) in constraints.iter().skip(1) {
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.retain(|t| {
+            admits(*b, &spec.range, &|r| matches!(r, Range::Enum(set) if set.contains(t)))
+        });
+    }
+    if !candidates.is_empty() {
+        return true;
+    }
+
+    // Integers: the first constraint's admitted intervals, clipped through
+    // the rest (each further constraint's intervals are collected lazily).
+    let mut intervals: Vec<(i64, i64)> = {
+        let mut out = Vec::new();
+        if let Range::Int { lo, hi } = spec0.range {
+            out.push((lo, hi));
+        }
+        for e in schema.applicable_excusers(class, b0, attr) {
+            if let Range::Int { lo, hi } = schema.excuser_spec(e).range {
+                out.push((lo, hi));
+            }
+        }
+        out
+    };
+    for (b, spec) in constraints.iter().skip(1) {
+        if intervals.is_empty() {
+            break;
+        }
+        let mut theirs: Vec<(i64, i64)> = Vec::new();
+        if let Range::Int { lo, hi } = spec.range {
+            theirs.push((lo, hi));
+        }
+        for e in schema.applicable_excusers(class, *b, attr) {
+            if let Range::Int { lo, hi } = schema.excuser_spec(e).range {
+                theirs.push((lo, hi));
+            }
+        }
+        let mut next = Vec::new();
+        for &(alo, ahi) in &intervals {
+            for &(blo, bhi) in &theirs {
+                let lo = alo.max(blo);
+                let hi = ahi.min(bhi);
+                if lo <= hi {
+                    next.push((lo, hi));
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        intervals = next;
+    }
+    !intervals.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_sdl::compile;
+
+    fn sat(src: &str, class: &str, attr: &str) -> bool {
+        let schema = compile(src).unwrap();
+        let c = schema.class_by_name(class).unwrap();
+        let a = schema.sym(attr).unwrap();
+        admits_common_value(&schema, c, a)
+    }
+
+    #[test]
+    fn single_constraints_are_satisfiable() {
+        let src = "
+            class T with a: 1..10; b: {'x}; c: String; d: None; e: T;
+        ";
+        for attr in ["a", "b", "c", "d", "e"] {
+            assert!(sat(src, "T", attr), "{attr}");
+        }
+    }
+
+    #[test]
+    fn disjoint_kinds_are_unsatisfiable() {
+        let src = "
+            class A with p: 1..10;
+            class B with p: {'tok};
+            class AB is-a A, B;
+        ";
+        assert!(!sat(src, "AB", "p"));
+        assert!(sat(src, "A", "p"));
+    }
+
+    #[test]
+    fn excuses_enlarge_the_allowed_set() {
+        let src = "
+            class A with p: 1..10;
+            class B is-a A with p: 20..30 excuses p on A;
+        ";
+        assert!(sat(src, "B", "p"));
+        let without = "
+            class C with p: 20..30;
+            class A with p: 1..10;
+            class B is-a A with p: 20..30 excuses p on C;
+        ";
+        // The excuse targets an unrelated class, so it cannot lift the
+        // inherited constraint from A; 20..30 ∩ 1..10 = ∅.
+        assert!(!sat(without, "B", "p"));
+    }
+
+    #[test]
+    fn unconstrained_attr_is_satisfiable() {
+        let schema = compile("class T").unwrap();
+        let t = schema.class_by_name("T").unwrap();
+        let mut b = chc_model::SchemaBuilder::from_schema(&schema);
+        let ghost = b.intern("ghost");
+        drop(b);
+        assert!(admits_common_value(&schema, t, ghost));
+    }
+}

@@ -1,0 +1,135 @@
+//! Lint codes: the stable identifiers findings are filed under.
+
+use std::fmt;
+
+/// One lint, identified by a stable `L00x` code and a kebab-case name.
+/// Either spelling is accepted by [`LintCode::parse`] (and thus by the
+/// CLI's `--allow/--warn/--deny` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// L001: a class whose constraints (with excuses folded in) admit no
+    /// value for some attribute — the class can have no instances. The
+    /// CLASSIC notion of an *incoherent* concept, applied to §5.1 schemas.
+    IncoherentClass,
+    /// L002: an `excuses p on C` clause whose excuser shares no
+    /// descendant with `C`, so no instance can ever be entitled to the
+    /// excuse — extending the §5.3 redundant-excuse warning.
+    DeadExcuse,
+    /// L003: a conditional-type branch `S/E` (§5.4) whose guard class `E`
+    /// does intersect the host hierarchy, but only through incoherent
+    /// classes — the branch can never be taken by a live instance.
+    UnreachableBranch,
+    /// L004: a direct is-a edge already implied by another direct
+    /// superclass (a transitive-reduction violation).
+    RedundantIsA,
+    /// L005: a subclass re-declares an attribute with exactly an
+    /// inherited range and no excuses — the declaration changes nothing.
+    NoopRedefinition,
+    /// L006: a class that is never referenced (as a superclass, range,
+    /// or excuse target) and declares no attributes of its own.
+    UnusedClass,
+}
+
+impl LintCode {
+    /// Every lint, in code order.
+    pub const ALL: [LintCode; 6] = [
+        LintCode::IncoherentClass,
+        LintCode::DeadExcuse,
+        LintCode::UnreachableBranch,
+        LintCode::RedundantIsA,
+        LintCode::NoopRedefinition,
+        LintCode::UnusedClass,
+    ];
+
+    /// The stable `L00x` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::IncoherentClass => "L001",
+            LintCode::DeadExcuse => "L002",
+            LintCode::UnreachableBranch => "L003",
+            LintCode::RedundantIsA => "L004",
+            LintCode::NoopRedefinition => "L005",
+            LintCode::UnusedClass => "L006",
+        }
+    }
+
+    /// The kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::IncoherentClass => "incoherent-class",
+            LintCode::DeadExcuse => "dead-excuse",
+            LintCode::UnreachableBranch => "unreachable-branch",
+            LintCode::RedundantIsA => "redundant-is-a",
+            LintCode::NoopRedefinition => "noop-redefinition",
+            LintCode::UnusedClass => "unused-class",
+        }
+    }
+
+    /// One-line description (shown by `chc lint --help` and docs/LINTS.md).
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::IncoherentClass => {
+                "constraints admit no value for an attribute; the class can have no instances"
+            }
+            LintCode::DeadExcuse => {
+                "excuse clause whose excuser shares no descendant with the excused class"
+            }
+            LintCode::UnreachableBranch => {
+                "conditional-type branch reachable only through incoherent classes"
+            }
+            LintCode::RedundantIsA => {
+                "direct is-a edge already implied by another direct superclass"
+            }
+            LintCode::NoopRedefinition => {
+                "attribute re-declared with exactly an inherited range and no excuses"
+            }
+            LintCode::UnusedClass => {
+                "class never referenced anywhere and declaring no attributes"
+            }
+        }
+    }
+
+    /// Index into per-lint tables (dense, 0-based, in `ALL` order).
+    pub(crate) fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Parses either spelling: `L003` (case-insensitive) or
+    /// `unreachable-branch`.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.code().eq_ignore_ascii_case(s) || c.name() == s)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_names_round_trip_through_parse() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.code()), Some(c));
+            assert_eq!(LintCode::parse(&c.code().to_lowercase()), Some(c));
+            assert_eq!(LintCode::parse(c.name()), Some(c));
+        }
+        assert_eq!(LintCode::parse("L999"), None);
+        assert_eq!(LintCode::parse("no-such-lint"), None);
+    }
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted);
+    }
+}

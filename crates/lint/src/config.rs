@@ -1,0 +1,74 @@
+//! Severity configuration: which lints are allowed, warned, or denied.
+
+use crate::code::LintCode;
+
+/// What to do with a lint's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Suppress entirely.
+    Allow,
+    /// Report, but do not fail the run.
+    Warn,
+    /// Report and fail the run (non-zero exit from the CLI).
+    Deny,
+}
+
+/// Per-lint severity levels. Every lint defaults to [`LintLevel::Warn`];
+/// `deny_warnings` promotes surviving warnings to deny (the CLI's
+/// `--deny warnings`), mirroring `rustc -D warnings`.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    levels: [LintLevel; LintCode::ALL.len()],
+    /// Promote every warn-level finding to deny.
+    pub deny_warnings: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig { levels: [LintLevel::Warn; LintCode::ALL.len()], deny_warnings: false }
+    }
+}
+
+impl LintConfig {
+    /// All lints at their default (warn) level.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Sets one lint's level (the last `--allow/--warn/--deny` wins).
+    pub fn set(&mut self, code: LintCode, level: LintLevel) {
+        self.levels[code.idx()] = level;
+    }
+
+    /// The effective level of a lint, with `deny_warnings` applied.
+    /// An explicit `Allow` survives `deny_warnings` — a suppressed lint
+    /// stays suppressed, again like `rustc -D warnings -A <lint>`.
+    pub fn level(&self, code: LintCode) -> LintLevel {
+        match self.levels[code.idx()] {
+            LintLevel::Warn if self.deny_warnings => LintLevel::Deny,
+            l => l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_warn() {
+        let cfg = LintConfig::new();
+        for c in LintCode::ALL {
+            assert_eq!(cfg.level(c), LintLevel::Warn);
+        }
+    }
+
+    #[test]
+    fn deny_warnings_spares_explicit_allows() {
+        let mut cfg = LintConfig::new();
+        cfg.deny_warnings = true;
+        cfg.set(LintCode::UnusedClass, LintLevel::Allow);
+        assert_eq!(cfg.level(LintCode::UnusedClass), LintLevel::Allow);
+        assert_eq!(cfg.level(LintCode::DeadExcuse), LintLevel::Deny);
+    }
+}

@@ -1,0 +1,108 @@
+//! The lint driver: runs every registered lint, applies severity
+//! configuration, and packages the findings.
+
+use chc_model::Schema;
+use chc_obs::json::JsonValue;
+
+use crate::config::{LintConfig, LintLevel};
+use crate::finding::Finding;
+use crate::lints::{self, LintCtx};
+use crate::LintCode;
+
+/// The outcome of a lint run: surviving findings, ordered by source
+/// position (findings without spans sort last, by class then code).
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All warn- and deny-level findings. Allowed lints never appear.
+    pub findings: Vec<Finding>,
+}
+
+/// Runs every lint over `schema` and filters by `config`.
+///
+/// ```
+/// let schema = chc_sdl::compile("
+///     class Person with age: 1..120;
+///     class Employee is-a Person with age: 1..120;
+/// ").unwrap();
+/// let report = chc_lint::run(&schema, &chc_lint::LintConfig::new());
+/// // Employee.age repeats Person.age verbatim: L005 fires.
+/// assert_eq!(report.findings.len(), 1);
+/// assert_eq!(report.findings[0].code, chc_lint::LintCode::NoopRedefinition);
+/// ```
+pub fn run(schema: &Schema, config: &LintConfig) -> LintReport {
+    let _span = chc_obs::span(chc_obs::names::SPAN_LINT_RUN);
+    let ctx = LintCtx::new(schema);
+    let mut findings = Vec::new();
+    lints::incoherent::run(&ctx, &mut findings);
+    lints::dead_excuse::run(&ctx, &mut findings);
+    lints::unreachable::run(&ctx, &mut findings);
+    lints::redundant_isa::run(&ctx, &mut findings);
+    lints::noop_redef::run(&ctx, &mut findings);
+    lints::unused::run(&ctx, &mut findings);
+
+    findings.retain_mut(|f| match config.level(f.code) {
+        LintLevel::Allow => false,
+        level => {
+            f.level = level;
+            true
+        }
+    });
+    chc_obs::counter(chc_obs::names::LINT_FIRED, findings.len() as u64);
+
+    findings.sort_by_key(|f| {
+        (
+            f.span.is_none(),
+            f.span.map(|s| (s.line, s.col)).unwrap_or((0, 0)),
+            f.class,
+            f.code,
+        )
+    });
+    LintReport { findings }
+}
+
+impl LintReport {
+    /// Whether the run passes: no deny-level findings.
+    pub fn is_ok(&self) -> bool {
+        self.denied().next().is_none()
+    }
+
+    /// The deny-level findings.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.level == LintLevel::Deny)
+    }
+
+    /// The warn-level findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.level == LintLevel::Warn)
+    }
+
+    /// How many findings carry each code, over [`LintCode::ALL`].
+    pub fn count(&self, code: LintCode) -> usize {
+        self.findings.iter().filter(|f| f.code == code).count()
+    }
+
+    /// The whole report as a [`JsonValue`] object:
+    /// `{"tool":"chc-lint","file":…,"findings":[…],"counts":{…}}`.
+    /// Rendering it and feeding the text back through
+    /// `chc_obs::json::parse` reproduces the value.
+    pub fn to_json(&self, schema: &Schema) -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = Vec::new();
+        fields.push(("tool", JsonValue::string("chc-lint")));
+        if let Some(file) = schema.source_map().file() {
+            fields.push(("file", JsonValue::string(file)));
+        }
+        fields.push((
+            "findings",
+            JsonValue::array(self.findings.iter().map(|f| f.to_json(schema))),
+        ));
+        fields.push((
+            "counts",
+            JsonValue::object([
+                ("total", JsonValue::number(self.findings.len() as f64)),
+                ("warn", JsonValue::number(self.warnings().count() as f64)),
+                ("deny", JsonValue::number(self.denied().count() as f64)),
+            ]),
+        ));
+        JsonValue::object(fields)
+    }
+}

@@ -1,0 +1,59 @@
+//! Lint findings: what a lint reports, where, and how loudly.
+
+use chc_model::{ClassId, Schema, Span, Sym};
+use chc_obs::json::JsonValue;
+
+use crate::code::LintCode;
+use crate::config::LintLevel;
+
+/// One lint finding, anchored to a class (and possibly an attribute) with
+/// a source span when the schema was compiled from SDL text.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Effective severity after configuration (never `Allow`; allowed
+    /// findings are dropped before they reach the report).
+    pub level: LintLevel,
+    /// The class the finding is about.
+    pub class: ClassId,
+    /// The attribute involved, when the lint is attribute-scoped.
+    pub attr: Option<Sym>,
+    /// Source position of the offending declaration, when known.
+    pub span: Option<Span>,
+    /// Human-readable explanation, with schema names resolved.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `file:line:col` (or `line:col`) prefix, when a span is known.
+    pub fn location(&self, schema: &Schema) -> Option<String> {
+        self.span.map(|s| schema.source_map().locate(s))
+    }
+
+    /// This finding as a [`JsonValue`] object (round-trippable through
+    /// `chc_obs::json::parse`).
+    pub fn to_json(&self, schema: &Schema) -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = vec![
+            ("code", JsonValue::string(self.code.code())),
+            ("name", JsonValue::string(self.code.name())),
+            (
+                "level",
+                JsonValue::string(match self.level {
+                    LintLevel::Deny => "deny",
+                    _ => "warn",
+                }),
+            ),
+            ("class", JsonValue::string(schema.class_name(self.class))),
+            ("message", JsonValue::string(&self.message)),
+        ];
+        if let Some(attr) = self.attr {
+            fields.push(("attr", JsonValue::string(schema.resolve(attr))));
+        }
+        if let Some(span) = self.span {
+            fields.push(("line", JsonValue::number(span.line as f64)));
+            fields.push(("col", JsonValue::number(span.col as f64)));
+        }
+        JsonValue::object(fields)
+    }
+}

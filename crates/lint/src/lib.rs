@@ -1,0 +1,40 @@
+//! # chc-lint — static analysis over compiled schemas
+//!
+//! The paper's *verifiability* desideratum (§5) asks that "the language
+//! compiler or environment should be able to alert the programmer about
+//! cases of inconsistent specification". `chc-core`'s checker enforces
+//! the §5.1 specialization-or-excuse rule; this crate goes further, with
+//! a registry of coded lints over a compiled [`chc_model::Schema`] *and
+//! its source spans*:
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | L001 | `incoherent-class` | constraints admit no value; no instances possible |
+//! | L002 | `dead-excuse` | excuse no instance could ever be entitled to |
+//! | L003 | `unreachable-branch` | conditional-type branch (§5.4) only incoherent classes could take |
+//! | L004 | `redundant-is-a` | is-a edge implied by another direct superclass |
+//! | L005 | `noop-redefinition` | redeclaration equal to an inherited range, no excuses |
+//! | L006 | `unused-class` | class referenced nowhere, declaring nothing |
+//!
+//! Each lint is catalogued with SDL examples in `docs/LINTS.md`. Entry
+//! point: [`run`] with a [`LintConfig`] (per-code allow/warn/deny plus
+//! `deny_warnings`); render the [`LintReport`] with [`render_report`]
+//! (rustc-style text quoting the offending line) or
+//! [`LintReport::to_json`] (round-trippable through `chc_obs::json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod code;
+pub mod config;
+pub mod engine;
+pub mod finding;
+mod lints;
+pub mod render;
+
+pub use code::LintCode;
+pub use config::{LintConfig, LintLevel};
+pub use engine::{run, LintReport};
+pub use finding::Finding;
+pub use render::{render_finding, render_report};

@@ -1,0 +1,45 @@
+//! L002 — dead excuse.
+//!
+//! An `excuses p on C` clause carried by class `D` matters only for
+//! instances that belong to both `D` and `C` — §5.2's final semantics
+//! reads `x.p ∈ R ∨ ∃(E,S). x ∈ E ∧ x.p ∈ S`, and the constraint being
+//! escaped applies to members of `C`. If `D` and `C` share no descendant,
+//! no instance can ever be entitled to the excuse: the contradicted
+//! constraint is not inherited along any is-a path through the excuser.
+//! This extends the checker's §5.3 redundant-excuse warning (an excuse
+//! for a non-contradiction) to excuses that are structurally unusable.
+
+use crate::config::LintLevel;
+use crate::finding::Finding;
+use crate::lints::LintCtx;
+use crate::LintCode;
+
+pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let schema = ctx.schema;
+    for class in schema.class_ids() {
+        for decl in &schema.class(class).attrs {
+            for exc in &decl.spec.excuses {
+                if ctx.share_descendant(class, exc.on) {
+                    continue;
+                }
+                out.push(Finding {
+                    code: LintCode::DeadExcuse,
+                    level: LintLevel::Warn,
+                    class,
+                    attr: Some(exc.attr),
+                    span: schema
+                        .source_map()
+                        .excuse_span(class, exc.attr, exc.on)
+                        .or_else(|| schema.source_map().site_span(class, Some(decl.name))),
+                    message: format!(
+                        "excuse of `{on}.{attr}` by `{class}` is dead: `{class}` and `{on}` \
+                         share no descendant, so no instance can ever use it",
+                        on = schema.class_name(exc.on),
+                        attr = schema.resolve(exc.attr),
+                        class = schema.class_name(class),
+                    ),
+                });
+            }
+        }
+    }
+}

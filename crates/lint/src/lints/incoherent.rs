@@ -1,0 +1,44 @@
+//! L001 — incoherent class.
+//!
+//! A class is *incoherent at an attribute* when the intersection of every
+//! inherited and local constraint on it (with applicable excuses folded
+//! in, per the §5.2 semantics) is empty: no value exists that an instance
+//! could carry, so the class can have no instances at all. This is the
+//! CLASSIC description-logic notion of an incoherent concept, and it is
+//! deliberately *distinct* from the checker's unexcused-contradiction
+//! error: the checker asks whether contradictions were acknowledged, this
+//! lint asks whether the acknowledged result is still inhabitable.
+//!
+//! Only the topmost incoherent site along each is-a path is reported;
+//! descendants that inherit the same empty constraint set are cascade
+//! noise, not new information.
+
+use crate::config::LintLevel;
+use crate::finding::Finding;
+use crate::lints::LintCtx;
+use crate::LintCode;
+
+pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let schema = ctx.schema;
+    for &(class, attr) in &ctx.incoherent_at {
+        let inherited = schema
+            .ancestors_with_self(class)
+            .any(|a| a != class && ctx.incoherent_at.contains(&(a, attr)));
+        if inherited {
+            continue;
+        }
+        out.push(Finding {
+            code: LintCode::IncoherentClass,
+            level: LintLevel::Warn,
+            class,
+            attr: Some(attr),
+            span: schema.source_map().site_span(class, Some(attr)),
+            message: format!(
+                "class `{}` is incoherent: no value can satisfy all constraints on `{}`, \
+                 so the class can have no instances",
+                schema.class_name(class),
+                schema.resolve(attr),
+            ),
+        });
+    }
+}

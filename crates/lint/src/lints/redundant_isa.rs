@@ -1,0 +1,43 @@
+//! L004 — redundant is-a edge.
+//!
+//! The is-a hierarchy is a DAG (§2); an edge `C is-a S` is redundant when
+//! another direct superclass of `C` already lies under `S`, so the edge
+//! adds nothing to the transitive closure. Redundant edges are harmless
+//! to the semantics but mislead readers about where constraints come
+//! from, and the paper's locality desideratum (§5) favours hierarchies
+//! whose stated edges are exactly the transitive reduction.
+
+use crate::config::LintLevel;
+use crate::finding::Finding;
+use crate::lints::LintCtx;
+use crate::LintCode;
+
+pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let schema = ctx.schema;
+    for class in schema.class_ids() {
+        let supers = schema.supers(class);
+        for &sup in supers {
+            let implied_by = supers
+                .iter()
+                .find(|&&o| o != sup && schema.is_subclass(o, sup));
+            let Some(&via) = implied_by else { continue };
+            out.push(Finding {
+                code: LintCode::RedundantIsA,
+                level: LintLevel::Warn,
+                class,
+                attr: None,
+                span: schema
+                    .source_map()
+                    .super_span(class, sup)
+                    .or_else(|| schema.source_map().class_span(class)),
+                message: format!(
+                    "is-a edge `{class} is-a {sup}` is redundant: already implied by \
+                     superclass `{via}`",
+                    class = schema.class_name(class),
+                    sup = schema.class_name(sup),
+                    via = schema.class_name(via),
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! L006 — unused class.
+//!
+//! A class earns its place in a schema by being *referred to*: as a
+//! superclass, as an attribute's range (directly or inside a record
+//! type), or as the target of an excuse clause — or by declaring
+//! attributes that its subtree inherits. A class that does none of these
+//! is dead weight: no constraint mentions it and removing it cannot
+//! change the meaning of any other definition. Leaf classes that declare
+//! attributes are *not* flagged — being instantiable with their own
+//! constraints is their use.
+
+use chc_model::{AttrSpec, Range};
+
+use crate::config::LintLevel;
+use crate::finding::Finding;
+use crate::lints::LintCtx;
+use crate::LintCode;
+
+pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let schema = ctx.schema;
+    let mut referenced = vec![false; schema.num_classes()];
+    for class in schema.class_ids() {
+        for &sup in schema.supers(class) {
+            referenced[sup.index()] = true;
+        }
+        for decl in &schema.class(class).attrs {
+            mark_spec(&decl.spec, &mut referenced);
+        }
+    }
+    for class in schema.class_ids() {
+        if referenced[class.index()] || !schema.class(class).attrs.is_empty() {
+            continue;
+        }
+        out.push(Finding {
+            code: LintCode::UnusedClass,
+            level: LintLevel::Warn,
+            class,
+            attr: None,
+            span: schema.source_map().class_span(class),
+            message: format!(
+                "class `{}` is never referenced as a superclass, range, or excuse target, \
+                 and declares no attributes",
+                schema.class_name(class),
+            ),
+        });
+    }
+}
+
+fn mark_spec(spec: &AttrSpec, referenced: &mut [bool]) {
+    for exc in &spec.excuses {
+        referenced[exc.on.index()] = true;
+    }
+    match &spec.range {
+        Range::Class(c) => referenced[c.index()] = true,
+        Range::Record { base, fields } => {
+            if let Some(b) = base {
+                referenced[b.index()] = true;
+            }
+            for f in fields {
+                mark_spec(&f.spec, referenced);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,73 @@
+//! The text renderer: rustc-style findings that quote the offending SDL
+//! line with a caret.
+//!
+//! ```text
+//! warning[L004]: is-a edge `QR is-a Person` is redundant: already implied by superclass `Quaker`
+//!   --> demo.sdl:4:23
+//!    |
+//!  4 | class QR is-a Quaker, Person;
+//!    |                       ^
+//! ```
+
+use chc_model::Schema;
+
+use crate::config::LintLevel;
+use crate::engine::LintReport;
+use crate::finding::Finding;
+
+/// Renders one finding. `src` is the SDL text the schema was compiled
+/// from, used to quote the offending line; without it (or without a
+/// span) only the headline and location are printed.
+pub fn render_finding(finding: &Finding, schema: &Schema, src: Option<&str>) -> String {
+    let level = match finding.level {
+        LintLevel::Deny => "error",
+        _ => "warning",
+    };
+    let mut out = format!("{level}[{}]: {}", finding.code.code(), finding.message);
+    let Some(span) = finding.span else {
+        return out;
+    };
+    out.push_str(&format!(
+        "\n  --> {}",
+        schema.source_map().locate(span)
+    ));
+    let quoted = src.and_then(|s| s.lines().nth(span.line as usize - 1));
+    if let Some(line) = quoted {
+        let gutter = span.line.to_string().len().max(2);
+        let caret_pad = " ".repeat(span.col as usize - 1);
+        out.push_str(&format!(
+            "\n{blank} |\n{num:>gutter$} | {line}\n{blank} | {caret_pad}^",
+            blank = " ".repeat(gutter),
+            num = span.line,
+        ));
+    }
+    out
+}
+
+/// Renders a whole report: every finding separated by blank lines, then
+/// a one-line summary. The empty report renders as the empty string.
+pub fn render_report(report: &LintReport, schema: &Schema, src: Option<&str>) -> String {
+    if report.findings.is_empty() {
+        return String::new();
+    }
+    let mut blocks: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| render_finding(f, schema, src))
+        .collect();
+    let denied = report.denied().count();
+    let warned = report.warnings().count();
+    let mut summary = Vec::new();
+    if denied > 0 {
+        summary.push(format!("{denied} error{}", plural(denied)));
+    }
+    if warned > 0 {
+        summary.push(format!("{warned} warning{}", plural(warned)));
+    }
+    blocks.push(format!("lint: {} emitted", summary.join(", ")));
+    blocks.join("\n\n")
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 { "" } else { "s" }
+}

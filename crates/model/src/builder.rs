@@ -12,6 +12,7 @@ use crate::class::{AttrDecl, Class, ClassId, ClassKind};
 use crate::error::ModelError;
 use crate::range::AttrSpec;
 use crate::schema::{ExcuserEntry, Schema};
+use crate::source::{SourceMap, Span};
 use crate::symbol::{Interner, Sym};
 
 /// A schema under construction.
@@ -20,6 +21,7 @@ pub struct SchemaBuilder {
     interner: Interner,
     classes: Vec<Class>,
     by_name: HashMap<Sym, ClassId>,
+    source_map: SourceMap,
 }
 
 impl SchemaBuilder {
@@ -37,6 +39,7 @@ impl SchemaBuilder {
             interner: schema.interner.clone(),
             classes: schema.classes.clone(),
             by_name: schema.by_name.clone(),
+            source_map: schema.source_map.clone(),
         };
         // build() re-sorts, but keep the invariant locally too.
         for c in &mut b.classes {
@@ -158,6 +161,18 @@ impl SchemaBuilder {
         self.classes.len()
     }
 
+    /// Mutable access to the source map under construction; `chc-sdl`
+    /// records class/attribute/excuse/is-a positions through this while
+    /// lowering, so diagnostics can point at `file:line:col`.
+    pub fn source_map_mut(&mut self) -> &mut SourceMap {
+        &mut self.source_map
+    }
+
+    /// Convenience: records a class-definition position.
+    pub fn record_class_span(&mut self, class: ClassId, span: Span) {
+        self.source_map.record_class(class, span);
+    }
+
     fn name_of(&self, id: ClassId) -> String {
         self.interner.resolve(self.classes[id.index()].name).to_string()
     }
@@ -247,6 +262,7 @@ impl SchemaBuilder {
             excusers,
             excuser_bits,
             declarers,
+            source_map: self.source_map,
         })
     }
 

@@ -29,6 +29,7 @@ pub mod error;
 pub mod object;
 pub mod range;
 pub mod schema;
+pub mod source;
 pub mod symbol;
 pub mod value;
 pub mod view;
@@ -40,6 +41,7 @@ pub use error::ModelError;
 pub use object::{Oid, OidAllocator};
 pub use range::{AttrSpec, Excuse, FieldSpec, Range};
 pub use schema::{ExcuserEntry, Schema};
+pub use source::{SourceMap, Span};
 pub use symbol::{Interner, Sym};
 pub use value::Value;
 pub use view::{InstanceView, NoInstances};

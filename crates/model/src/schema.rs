@@ -13,6 +13,7 @@ use std::collections::{BTreeSet, HashMap};
 use crate::bitset::BitSet;
 use crate::class::{AttrDecl, Class, ClassId};
 use crate::range::AttrSpec;
+use crate::source::SourceMap;
 use crate::symbol::{Interner, Sym};
 
 /// One entry in the excuse index: `excuser`'s declaration of `attr`
@@ -44,6 +45,9 @@ pub struct Schema {
     pub(crate) excuser_bits: HashMap<(ClassId, Sym), BitSet>,
     /// attr → classes declaring it, in ascending id order.
     pub(crate) declarers: HashMap<Sym, Vec<ClassId>>,
+    /// Source positions of classes/declarations/excuses/is-a edges, when
+    /// the schema was compiled from SDL text (empty otherwise).
+    pub(crate) source_map: SourceMap,
 }
 
 impl Schema {
@@ -230,6 +234,12 @@ impl Schema {
     /// Total number of attribute declarations across all classes.
     pub fn num_attr_decls(&self) -> usize {
         self.classes.iter().map(|c| c.attrs.len()).sum()
+    }
+
+    /// The source positions recorded when this schema was compiled from
+    /// SDL text. Empty (every lookup `None`) for API-built schemas.
+    pub fn source_map(&self) -> &SourceMap {
+        &self.source_map
     }
 }
 

@@ -1,0 +1,178 @@
+//! Source spans: mapping schema entities back to the SDL text they came
+//! from.
+//!
+//! The paper's verifiability desideratum (§5) wants the environment to
+//! "alert the programmer about cases of inconsistent specification" — an
+//! alert is only actionable if it points at the offending line. A
+//! [`SourceMap`] records, for every class, attribute declaration, excuse
+//! clause, and is-a edge, the position of the token that introduced it.
+//! `chc-sdl` populates the map while lowering; schemas built directly
+//! through the API simply have an empty map and diagnostics fall back to
+//! name-only rendering.
+//!
+//! Spans survive schema *evolution*: `SchemaBuilder::from_schema`
+//! preserves class ids, so positions recorded for the original text stay
+//! valid for unchanged entities after a rebuild.
+
+use std::collections::HashMap;
+
+use crate::class::ClassId;
+use crate::symbol::Sym;
+
+/// A source position (1-based line and byte column), the start of the
+/// token that introduced an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number (in bytes), starting at 1.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Positions of schema entities in the SDL source they were compiled
+/// from. Empty for schemas assembled directly through [`SchemaBuilder`]
+/// (every lookup returns `None`).
+///
+/// [`SchemaBuilder`]: crate::builder::SchemaBuilder
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// The file the source came from, when known (used as the diagnostic
+    /// path prefix).
+    file: Option<String>,
+    /// class → position of its `class` keyword.
+    classes: HashMap<ClassId, Span>,
+    /// (class, attr) → position of the attribute name in the declaration.
+    attrs: HashMap<(ClassId, Sym), Span>,
+    /// (excuser class, excused attr, excused class) → position of the
+    /// `excuses` keyword of that clause.
+    excuses: HashMap<(ClassId, Sym, ClassId), Span>,
+    /// (class, direct super) → position of the superclass name in the
+    /// `is-a` list.
+    supers: HashMap<(ClassId, ClassId), Span>,
+}
+
+impl SourceMap {
+    /// An empty map (what API-built schemas carry).
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Whether any span was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+            && self.attrs.is_empty()
+            && self.excuses.is_empty()
+            && self.supers.is_empty()
+    }
+
+    /// The source file name, if one was recorded.
+    pub fn file(&self) -> Option<&str> {
+        self.file.as_deref()
+    }
+
+    /// Records the source file name.
+    pub fn set_file(&mut self, file: &str) {
+        self.file = Some(file.to_string());
+    }
+
+    /// Records the position of a class definition.
+    pub fn record_class(&mut self, class: ClassId, span: Span) {
+        self.classes.insert(class, span);
+    }
+
+    /// Records the position of an attribute declaration.
+    pub fn record_attr(&mut self, class: ClassId, attr: Sym, span: Span) {
+        self.attrs.insert((class, attr), span);
+    }
+
+    /// Records the position of an `excuses attr on C` clause carried by
+    /// `class`'s declaration of `attr`.
+    pub fn record_excuse(&mut self, class: ClassId, attr: Sym, on: ClassId, span: Span) {
+        self.excuses.insert((class, attr, on), span);
+    }
+
+    /// Records the position of the direct is-a edge `class is-a sup`.
+    pub fn record_super(&mut self, class: ClassId, sup: ClassId, span: Span) {
+        self.supers.insert((class, sup), span);
+    }
+
+    /// The position of a class definition.
+    pub fn class_span(&self, class: ClassId) -> Option<Span> {
+        self.classes.get(&class).copied()
+    }
+
+    /// The position of an attribute declaration.
+    pub fn attr_span(&self, class: ClassId, attr: Sym) -> Option<Span> {
+        self.attrs.get(&(class, attr)).copied()
+    }
+
+    /// The position of an excuse clause.
+    pub fn excuse_span(&self, class: ClassId, attr: Sym, on: ClassId) -> Option<Span> {
+        self.excuses.get(&(class, attr, on)).copied()
+    }
+
+    /// The position of a direct is-a edge.
+    pub fn super_span(&self, class: ClassId, sup: ClassId) -> Option<Span> {
+        self.supers.get(&(class, sup)).copied()
+    }
+
+    /// The best position for a diagnostic at `(class, attr)`: the
+    /// attribute declaration if present, else the class definition.
+    pub fn site_span(&self, class: ClassId, attr: Option<Sym>) -> Option<Span> {
+        attr.and_then(|a| self.attr_span(class, a))
+            .or_else(|| self.class_span(class))
+    }
+
+    /// Renders a position as `file:line:col` (or `line:col` when no file
+    /// was recorded) — the prefix diagnostics print.
+    pub fn locate(&self, span: Span) -> String {
+        match &self.file {
+            Some(f) => format!("{f}:{span}"),
+            None => span.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_answers_none() {
+        let m = SourceMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.class_span(ClassId::from_raw(0)), None);
+        assert_eq!(m.file(), None);
+    }
+
+    #[test]
+    fn recorded_spans_come_back() {
+        let mut m = SourceMap::new();
+        let c = ClassId::from_raw(3);
+        let s = Span { line: 7, col: 2 };
+        m.record_class(c, s);
+        m.set_file("x.sdl");
+        assert_eq!(m.class_span(c), Some(s));
+        assert_eq!(m.site_span(c, None), Some(s));
+        assert_eq!(m.locate(s), "x.sdl:7:2");
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn site_span_prefers_the_attr() {
+        let mut m = SourceMap::new();
+        let c = ClassId::from_raw(0);
+        let mut interner = crate::symbol::Interner::new();
+        let attr = interner.intern("age");
+        m.record_class(c, Span { line: 1, col: 1 });
+        m.record_attr(c, attr, Span { line: 2, col: 5 });
+        assert_eq!(m.site_span(c, Some(attr)), Some(Span { line: 2, col: 5 }));
+        assert_eq!(m.locate(Span { line: 2, col: 5 }), "2:5");
+    }
+}

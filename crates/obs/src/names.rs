@@ -82,6 +82,15 @@ pub const SPAN_EXTENT_REFRESH: &str = "extent.refresh_virtual";
 /// Span: validating one stored object against its classes.
 pub const SPAN_VALIDATE_STORED: &str = "validate.stored";
 
+// --- chc-lint ---
+
+/// Span: one whole `chc_lint::run(schema)` pass.
+pub const SPAN_LINT_RUN: &str = "lint.run";
+/// Lint findings emitted (all codes, post-severity-filtering).
+pub const LINT_FIRED: &str = "lint.fired";
+/// Classes visited by the lint pass.
+pub const LINT_CLASSES: &str = "lint.classes";
+
 // --- chc CLI ---
 
 /// Span: the whole CLI command (`cli.check`, `cli.validate`, ...).
@@ -90,5 +99,7 @@ pub const SPAN_CLI_CHECK: &str = "cli.check";
 pub const SPAN_CLI_VALIDATE: &str = "cli.validate";
 /// Span: the `analyze` command.
 pub const SPAN_CLI_ANALYZE: &str = "cli.analyze";
+/// Span: the `lint` command.
+pub const SPAN_CLI_LINT: &str = "cli.lint";
 /// Span: parsing + compiling the input schema.
 pub const SPAN_CLI_COMPILE: &str = "cli.compile";

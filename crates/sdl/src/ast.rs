@@ -14,11 +14,20 @@ pub struct SchemaAst {
 pub struct ClassAst {
     /// The class name.
     pub name: String,
-    /// Names of direct superclasses.
-    pub supers: Vec<String>,
+    /// Direct superclasses, in source order.
+    pub supers: Vec<SuperAst>,
     /// Attribute declarations.
     pub attrs: Vec<AttrAst>,
     /// Source position of the `class` keyword.
+    pub pos: Pos,
+}
+
+/// One superclass reference in an `is-a` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperAst {
+    /// The superclass name.
+    pub name: String,
+    /// Source position of the name in the `is-a` list.
     pub pos: Pos,
 }
 

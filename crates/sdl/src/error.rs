@@ -33,7 +33,14 @@ pub enum SdlError {
         name: String,
     },
     /// A structural error reported by the schema builder.
-    Model(ModelError),
+    Model {
+        /// The nearest source position, when lowering can attribute the
+        /// error to a declaration (e.g. the second occurrence of a
+        /// duplicated class, or a class on an is-a cycle).
+        pos: Option<Pos>,
+        /// The underlying structural error.
+        err: ModelError,
+    },
 }
 
 impl fmt::Display for SdlError {
@@ -46,7 +53,8 @@ impl fmt::Display for SdlError {
             SdlError::UnknownClass { pos, name } => {
                 write!(f, "{pos}: reference to undefined class `{name}`")
             }
-            SdlError::Model(e) => write!(f, "schema error: {e}"),
+            SdlError::Model { pos: Some(p), err } => write!(f, "{p}: schema error: {err}"),
+            SdlError::Model { pos: None, err } => write!(f, "schema error: {err}"),
         }
     }
 }
@@ -54,7 +62,7 @@ impl fmt::Display for SdlError {
 impl std::error::Error for SdlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SdlError::Model(e) => Some(e),
+            SdlError::Model { err, .. } => Some(err),
             _ => None,
         }
     }
@@ -62,6 +70,6 @@ impl std::error::Error for SdlError {
 
 impl From<ModelError> for SdlError {
     fn from(e: ModelError) -> Self {
-        SdlError::Model(e)
+        SdlError::Model { pos: None, err: e }
     }
 }

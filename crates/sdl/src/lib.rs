@@ -32,4 +32,4 @@ pub mod token;
 pub use error::SdlError;
 pub use parser::parse;
 pub use printer::{print_class, print_schema};
-pub use resolve::{compile, lower};
+pub use resolve::{compile, compile_with_source, lower};

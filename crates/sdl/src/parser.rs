@@ -15,7 +15,7 @@
 //!           | IDENT ("[" attrs "]")?     -- String/Integer/None/AnyEntity special-cased
 //! ```
 
-use crate::ast::{AttrAst, ClassAst, ExcuseAst, RangeAst, SchemaAst};
+use crate::ast::{AttrAst, ClassAst, ExcuseAst, RangeAst, SchemaAst, SuperAst};
 use crate::error::SdlError;
 use crate::lexer::lex;
 use crate::token::{Pos, Spanned, Tok};
@@ -98,9 +98,13 @@ impl Parser {
         let name = self.ident("a class name")?;
         let mut supers = Vec::new();
         if self.eat(&Tok::KwIsA) {
-            supers.push(self.ident("a superclass name")?);
-            while self.eat(&Tok::Comma) {
-                supers.push(self.ident("a superclass name")?);
+            loop {
+                let pos = self.pos();
+                let name = self.ident("a superclass name")?;
+                supers.push(SuperAst { name, pos });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
             }
         }
         let mut attrs = Vec::new();
@@ -226,7 +230,9 @@ mod tests {
         let ast = parse(src).unwrap();
         assert_eq!(ast.classes.len(), 3);
         assert_eq!(ast.classes[0].name, "Address");
-        assert_eq!(ast.classes[2].supers, vec!["Person".to_string()]);
+        let supers: Vec<&str> =
+            ast.classes[2].supers.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(supers, vec!["Person"]);
         assert_eq!(ast.classes[2].attrs.len(), 3);
         assert_eq!(ast.classes[2].attrs[0].range, RangeAst::Int(16, 65));
     }
@@ -274,7 +280,12 @@ mod tests {
     #[test]
     fn parses_multiple_supers() {
         let ast = parse("class Dick is-a Quaker, Republican").unwrap();
-        assert_eq!(ast.classes[0].supers, vec!["Quaker".to_string(), "Republican".to_string()]);
+        let supers: Vec<&str> =
+            ast.classes[0].supers.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(supers, vec!["Quaker", "Republican"]);
+        // Each superclass reference carries its own position.
+        assert_eq!(ast.classes[0].supers[0].pos.col, 17);
+        assert_eq!(ast.classes[0].supers[1].pos.col, 25);
     }
 
     #[test]

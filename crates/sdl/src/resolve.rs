@@ -3,8 +3,15 @@
 //! Resolution is two-pass so classes may be referenced before their
 //! definition appears (the paper freely forward-references `Employee`
 //! inside its own definition, and `Hospital` before defining it).
+//!
+//! While lowering, the builder's [`SourceMap`](chc_model::SourceMap) is
+//! populated with the position of every class definition, attribute
+//! declaration, excuse clause, and is-a edge, so downstream diagnostics
+//! (`chc-core`'s checker, `chc-lint`) can point at `file:line:col`.
+//! Structural errors raised by the builder are wrapped with the nearest
+//! source position.
 
-use chc_model::{AttrSpec, ClassId, FieldSpec, Range, Schema, SchemaBuilder, Sym};
+use chc_model::{AttrSpec, ClassId, FieldSpec, ModelError, Range, Schema, SchemaBuilder, Sym};
 
 use crate::ast::{AttrAst, RangeAst, SchemaAst};
 use crate::error::SdlError;
@@ -24,29 +31,101 @@ use crate::token::Pos;
 /// ```
 pub fn compile(src: &str) -> Result<Schema, SdlError> {
     let _span = chc_obs::span(chc_obs::names::SPAN_SDL_COMPILE);
-    lower(&parse(src)?)
+    lower_with_file(&parse(src)?, None)
+}
+
+/// Like [`compile`], but records `file` in the schema's
+/// [`SourceMap`](chc_model::SourceMap), so diagnostics over the resulting
+/// schema render positions as `file:line:col` rather than `line:col`.
+pub fn compile_with_source(src: &str, file: &str) -> Result<Schema, SdlError> {
+    let _span = chc_obs::span(chc_obs::names::SPAN_SDL_COMPILE);
+    lower_with_file(&parse(src)?, Some(file))
 }
 
 /// Lowers an already-parsed AST.
 pub fn lower(ast: &SchemaAst) -> Result<Schema, SdlError> {
+    lower_with_file(ast, None)
+}
+
+fn lower_with_file(ast: &SchemaAst, file: Option<&str>) -> Result<Schema, SdlError> {
     let mut b = SchemaBuilder::new();
+    if let Some(f) = file {
+        b.source_map_mut().set_file(f);
+    }
     // Pass 1: declare every class name.
     for class in &ast.classes {
-        b.declare(&class.name)?;
+        // On a duplicate, `class.pos` is the second occurrence.
+        model_at(b.declare(&class.name), class.pos)?;
     }
     // Pass 2: supers and attributes.
     for class in &ast.classes {
         let id = b.class_id(&class.name).expect("declared in pass 1");
+        b.record_class_span(id, span(class.pos));
         for sup in &class.supers {
-            let sup_id = resolve_class(&b, sup, class.pos)?;
-            b.add_super(id, sup_id)?;
+            let sup_id = resolve_class(&b, &sup.name, sup.pos)?;
+            model_at(b.add_super(id, sup_id), sup.pos)?;
+            b.source_map_mut().record_super(id, sup_id, span(sup.pos));
         }
         for attr in &class.attrs {
             let spec = lower_attr_spec(&mut b, attr)?;
-            b.add_attr(id, &attr.name, spec)?;
+            let attr_sym = b.intern(&attr.name);
+            model_at(b.add_attr(id, &attr.name, spec), attr.pos)?;
+            b.source_map_mut().record_attr(id, attr_sym, span(attr.pos));
+            for exc in &attr.excuses {
+                let on = resolve_class(&b, &exc.on, exc.pos)?;
+                let excused = b.intern(&exc.attr);
+                b.source_map_mut().record_excuse(id, excused, on, span(exc.pos));
+            }
         }
     }
-    Ok(b.build()?)
+    b.build()
+        .map_err(|err| SdlError::Model { pos: build_error_pos(ast, &err), err })
+}
+
+fn span(p: Pos) -> chc_model::Span {
+    chc_model::Span { line: p.line, col: p.col }
+}
+
+/// Wraps a builder error with the source position of the declaration
+/// being lowered.
+fn model_at<T>(r: Result<T, ModelError>, pos: Pos) -> Result<T, SdlError> {
+    r.map_err(|err| SdlError::Model { pos: Some(pos), err })
+}
+
+/// Best-effort position for an error raised at `build()` time, when the
+/// builder no longer knows which declaration was at fault.
+fn build_error_pos(ast: &SchemaAst, err: &ModelError) -> Option<Pos> {
+    let class_pos =
+        |name: &str| ast.classes.iter().find(|c| c.name == name).map(|c| c.pos);
+    match err {
+        ModelError::IsACycle(name)
+        | ModelError::DuplicateClass(name)
+        | ModelError::UnknownClass(name) => class_pos(name),
+        ModelError::DuplicateAttr { class, .. }
+        | ModelError::DuplicateSuper { class, .. }
+        | ModelError::UnknownAttr { class, .. } => class_pos(class),
+        ModelError::ExcusedAttrUndeclared { on, attr } => excuse_pos(ast, on, attr),
+        _ => None,
+    }
+}
+
+/// Finds the `excuses attr on C` clause naming `on`/`attr`, including
+/// clauses nested inside record ranges.
+fn excuse_pos(ast: &SchemaAst, on: &str, attr: &str) -> Option<Pos> {
+    fn scan(attrs: &[AttrAst], on: &str, attr: &str) -> Option<Pos> {
+        for a in attrs {
+            if let Some(e) = a.excuses.iter().find(|e| e.on == on && e.attr == attr) {
+                return Some(e.pos);
+            }
+            if let RangeAst::Refined(_, fields) | RangeAst::Record(fields) = &a.range {
+                if let Some(p) = scan(fields, on, attr) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+    ast.classes.iter().find_map(|c| scan(&c.attrs, on, attr))
 }
 
 fn resolve_class(b: &SchemaBuilder, name: &str, pos: Pos) -> Result<ClassId, SdlError> {
@@ -67,21 +146,21 @@ fn lower_attr_spec(b: &mut SchemaBuilder, attr: &AttrAst) -> Result<AttrSpec, Sd
 
 fn lower_range(b: &mut SchemaBuilder, range: &RangeAst, pos: Pos) -> Result<Range, SdlError> {
     Ok(match range {
-        RangeAst::Int(lo, hi) => Range::int(*lo, *hi)?,
+        RangeAst::Int(lo, hi) => model_at(Range::int(*lo, *hi), pos)?,
         RangeAst::Str => Range::Str,
         RangeAst::Integer => Range::Int { lo: i64::MIN, hi: i64::MAX },
         RangeAst::None => Range::None,
         RangeAst::AnyEntity => Range::AnyEntity,
         RangeAst::Enum(toks) => {
             let syms: Vec<Sym> = toks.iter().map(|t| b.intern(t)).collect();
-            Range::enumeration(syms)?
+            model_at(Range::enumeration(syms), pos)?
         }
         RangeAst::Named(name) => Range::Class(resolve_class(b, name, pos)?),
         RangeAst::Refined(name, fields) => {
             let base = resolve_class(b, name, pos)?;
-            lower_record(b, Some(base), fields)?
+            lower_record(b, Some(base), fields, pos)?
         }
-        RangeAst::Record(fields) => lower_record(b, None, fields)?,
+        RangeAst::Record(fields) => lower_record(b, None, fields, pos)?,
     })
 }
 
@@ -89,6 +168,7 @@ fn lower_record(
     b: &mut SchemaBuilder,
     base: Option<ClassId>,
     fields: &[AttrAst],
+    pos: Pos,
 ) -> Result<Range, SdlError> {
     let mut specs = Vec::with_capacity(fields.len());
     let mut names: Vec<(Sym, String)> = Vec::with_capacity(fields.len());
@@ -105,7 +185,7 @@ fn lower_record(
             .map(|(_, n)| n.clone())
             .unwrap_or_else(|| format!("{s:?}"))
     };
-    Ok(Range::record(&resolve, base, specs)?)
+    model_at(Range::record(&resolve, base, specs), pos)
 }
 
 #[cfg(test)]
@@ -204,11 +284,66 @@ mod tests {
     }
 
     #[test]
-    fn model_errors_pass_through() {
+    fn model_errors_carry_the_nearest_position() {
+        // The duplicate is the second `class A`, at column 10.
         let err = compile("class A; class A").unwrap_err();
-        assert_eq!(err, SdlError::Model(ModelError::DuplicateClass("A".into())));
+        match err {
+            SdlError::Model { pos: Some(pos), err: ModelError::DuplicateClass(name) } => {
+                assert_eq!(name, "A");
+                assert_eq!((pos.line, pos.col), (1, 10));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A cycle is detected at build time; the position points at one of
+        // the classes on the cycle.
         let err = compile("class A is-a B; class B is-a A").unwrap_err();
-        assert!(matches!(err, SdlError::Model(ModelError::IsACycle(_))));
+        match err {
+            SdlError::Model { pos, err: ModelError::IsACycle(_) } => assert!(pos.is_some()),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_map_records_spans() {
+        let schema = compile_with_source(
+            "class Person with age: 1..120;\nclass Employee is-a Person with age: 16..65;",
+            "demo.sdl",
+        )
+        .unwrap();
+        let m = schema.source_map();
+        assert_eq!(m.file(), Some("demo.sdl"));
+        let person = schema.class_by_name("Person").unwrap();
+        let employee = schema.class_by_name("Employee").unwrap();
+        let age = schema.sym("age").unwrap();
+        assert_eq!(m.class_span(person).unwrap().line, 1);
+        assert_eq!(m.class_span(employee).unwrap().line, 2);
+        let decl = m.attr_span(employee, age).unwrap();
+        assert_eq!((decl.line, decl.col), (2, 33));
+        let edge = m.super_span(employee, person).unwrap();
+        assert_eq!((edge.line, edge.col), (2, 21));
+        assert_eq!(m.locate(decl), "demo.sdl:2:33");
+    }
+
+    #[test]
+    fn excuse_spans_are_recorded() {
+        let schema = compile(
+            "
+            class Physician;
+            class Psychologist;
+            class Patient with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+                treatedBy: Psychologist excuses treatedBy on Patient;
+            ",
+        )
+        .unwrap();
+        let alcoholic = schema.class_by_name("Alcoholic").unwrap();
+        let patient = schema.class_by_name("Patient").unwrap();
+        let treated_by = schema.sym("treatedBy").unwrap();
+        let span = schema
+            .source_map()
+            .excuse_span(alcoholic, treated_by, patient)
+            .expect("excuse span recorded");
+        assert_eq!(span.line, 6);
     }
 
     #[test]

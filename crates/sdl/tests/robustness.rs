@@ -92,7 +92,7 @@ fn error_positions_are_within_the_input() {
                 let lines = src.lines().count().max(1) as u32;
                 assert!(pos.line >= 1 && pos.line <= lines + 1, "{src}: {pos}");
             }
-            Err(chc_sdl::SdlError::Model(_)) => {}
+            Err(chc_sdl::SdlError::Model { .. }) => {}
         }
     }
 }

@@ -16,7 +16,12 @@ cargo test -q --offline --workspace
 echo "==> cargo fmt --check (chc-obs)"
 cargo fmt --check -p chc-obs
 
-echo "==> cargo clippy -p chc-obs -- -D warnings"
-cargo clippy --offline -p chc-obs -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> chc lint --deny warnings over examples/*.sdl"
+for sdl in examples/data/*.sdl; do
+    ./target/release/chc lint "$sdl" --deny warnings
+done
 
 echo "OK: all verification gates passed"

@@ -4,8 +4,12 @@
 //! chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <command> ...
 //!
 //! chc check <schema.sdl>                 type-check a schema (exit 1 on errors)
+//! chc lint <schema.sdl> [--format text|json]
+//!          [--allow <code>] [--warn <code>] [--deny <code>] [--deny warnings]
+//!                                        run the static-analysis lints (docs/LINTS.md)
 //! chc print <schema.sdl>                 canonical pretty-printed form
 //! chc virtualize <schema.sdl>            show the §5.6 virtual classes
+//!                                        (exit 1 if the virtualized schema has errors)
 //! chc explain <schema.sdl> <Class> [<attr>]
 //!                                        effective conditional types (§5.4)
 //! chc analyze <schema.sdl> "<query>"     static safety analysis of a query
@@ -29,8 +33,9 @@ use std::sync::Arc;
 
 use excuses::core::{check, virtualize, MissingPolicy, Semantics, ValidationOptions};
 use excuses::extent::{load_data, refresh_virtual_extents, validate_stored};
+use excuses::lint::{LintCode, LintConfig, LintLevel};
 use excuses::query::{compile as compile_query, parse_query, CheckMode};
-use excuses::sdl::{compile, print_schema};
+use excuses::sdl::{compile_with_source, print_schema};
 use excuses::types::{
     cond_of, render_cond, render_tyset, EntityFacts, TypeContext,
 };
@@ -152,17 +157,60 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
     Ok((rest, flags))
 }
 
+/// Parses `chc lint`'s own arguments: `--format text|json` and repeated
+/// `--allow/--warn/--deny <code|name>` (last one wins per lint), plus
+/// `--deny warnings`. Returns the severity config and whether to emit JSON.
+fn parse_lint_args(args: &[String]) -> Result<(LintConfig, bool), String> {
+    let mut config = LintConfig::new();
+    let mut json = false;
+    let mut it = args.iter();
+    let mut level_arg = |flag: &str, value: Option<&String>| -> Result<(), String> {
+        let value = value.ok_or_else(|| format!("{flag} needs a lint code (e.g. L002)"))?;
+        let level = match flag {
+            "--allow" => LintLevel::Allow,
+            "--warn" => LintLevel::Warn,
+            _ => LintLevel::Deny,
+        };
+        if flag == "--deny" && value == "warnings" {
+            config.deny_warnings = true;
+            return Ok(());
+        }
+        let code = LintCode::parse(value)
+            .ok_or_else(|| format!("unknown lint `{value}` (see docs/LINTS.md)"))?;
+        config.set(code, level);
+        Ok(())
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format needs `text` or `json`, got `{}`",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            flag @ ("--allow" | "--warn" | "--deny") => level_arg(flag, it.next())?,
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    Ok((config, json))
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <check|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <check|lint|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let schema = {
         let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
-        compile(&src).map_err(|e| format!("{path}: {e}"))?
+        compile_with_source(&src, path).map_err(|e| format!("{path}: {e}"))?
     };
     let _cmd_span = match cmd.as_str() {
         "check" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_CHECK)),
+        "lint" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_LINT)),
         "validate" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_VALIDATE)),
         "analyze" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_ANALYZE)),
         _ => None,
@@ -183,6 +231,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let errors = report.errors().count();
             let warnings = report.warnings().count();
             println!("{errors} error(s), {warnings} warning(s)");
+            Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "lint" => {
+            let (config, json) = parse_lint_args(&args[2..])?;
+            let report = excuses::lint::run(&schema, &config);
+            if json {
+                println!("{}", report.to_json(&schema).render());
+            } else if report.findings.is_empty() {
+                println!("{path}: {} classes — no lints fired", schema.num_classes());
+            } else {
+                println!("{}", excuses::lint::render_report(&report, &schema, Some(&src)));
+            }
             Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
         "print" => {
@@ -212,7 +272,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 v.schema.num_classes(),
                 if report.is_ok() { "clean" } else { "HAS ERRORS" }
             );
-            Ok(ExitCode::SUCCESS)
+            if !report.is_ok() {
+                println!("{}", report.render(&v.schema));
+            }
+            Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
         "explain" => {
             let class_name = args.get(2).ok_or("explain needs a class name")?;

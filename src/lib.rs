@@ -17,6 +17,8 @@
 //! * [`extent`] — object stores with automatic subset maintenance.
 //! * [`query`] — typed queries with run-time check elimination.
 //! * [`storage`] — semantic grouping and horizontal partitioning.
+//! * [`lint`] — span-aware static-analysis lints (`L001`…) beyond the
+//!   checker; see `docs/LINTS.md` for the catalogue.
 //! * [`baselines`] — the rejected alternatives of §4.2, for comparison.
 //! * [`workloads`] — deterministic generators for the experiments.
 //! * [`obs`] — counters, histograms, and spans behind the `chc --trace`
@@ -45,6 +47,7 @@
 pub use chc_baselines as baselines;
 pub use chc_core as core;
 pub use chc_extent as extent;
+pub use chc_lint as lint;
 pub use chc_model as model;
 pub use chc_obs as obs;
 pub use chc_query as query;

@@ -1,0 +1,152 @@
+//! End-to-end tests of `chc lint` and the exit-code contract it shares
+//! with `check` and `virtualize`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_schema(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("chc-lint-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn chc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chc"))
+        .args(args)
+        .output()
+        .expect("chc runs")
+}
+
+/// A schema that fires exactly one warning: `Employee` re-declares `age`
+/// with the very same range its superclass already gives it (L005).
+const NOOP: &str = "
+class Person with age: 1..120;
+class Employee is-a Person with age: 1..120;
+";
+
+const CLEAN: &str = "
+class Physician;
+class Psychologist;
+class Patient with treatedBy: Physician;
+class Alcoholic is-a Patient with
+    treatedBy: Psychologist excuses treatedBy on Patient;
+";
+
+#[test]
+fn lint_clean_schema_exits_zero_and_says_so() {
+    let path = write_schema("clean.sdl", CLEAN);
+    let out = chc(&["lint", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no lints fired"));
+}
+
+#[test]
+fn lint_warnings_report_but_exit_zero_by_default() {
+    let path = write_schema("noop.sdl", NOOP);
+    let out = chc(&["lint", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[L005]"), "{stdout}");
+    // The finding points into the file and quotes the offending line.
+    assert!(stdout.contains("noop.sdl:3:"), "{stdout}");
+    assert!(stdout.contains("class Employee is-a Person"), "{stdout}");
+    assert!(stdout.contains("1 warning emitted"), "{stdout}");
+}
+
+#[test]
+fn deny_warnings_flips_the_exit_code() {
+    let path = write_schema("deny_warn.sdl", NOOP);
+    let p = path.to_str().unwrap();
+    assert!(chc(&["lint", p]).status.success());
+    let out = chc(&["lint", p, "--deny", "warnings"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[L005]"), "{stdout}");
+    // A clean schema stays clean even under --deny warnings.
+    let clean = write_schema("deny_clean.sdl", CLEAN);
+    let out = chc(&["lint", clean.to_str().unwrap(), "--deny", "warnings"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn deny_and_allow_target_individual_codes() {
+    let path = write_schema("percode.sdl", NOOP);
+    let p = path.to_str().unwrap();
+    assert!(!chc(&["lint", p, "--deny", "L005"]).status.success());
+    // Lints are addressable by name as well as by code.
+    assert!(!chc(&["lint", p, "--deny", "noop-redefinition"]).status.success());
+    let out = chc(&["lint", p, "--allow", "L005"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no lints fired"));
+    // An explicit allow survives a blanket --deny warnings.
+    let out = chc(&["lint", p, "--deny", "warnings", "--allow", "L005"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn json_format_parses_and_carries_positions() {
+    let path = write_schema("json.sdl", NOOP);
+    let out = chc(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed = chc_obs::json::parse(stdout.trim()).expect("valid JSON");
+    assert_eq!(parsed.get("tool").and_then(|v| v.as_str()), Some("chc-lint"));
+    let findings = parsed.get("findings").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].get("code").and_then(|v| v.as_str()), Some("L005"));
+    assert_eq!(findings[0].get("line").and_then(|v| v.as_f64()), Some(3.0));
+}
+
+#[test]
+fn unknown_lint_code_is_a_usage_error() {
+    let path = write_schema("badcode.sdl", CLEAN);
+    let out = chc(&["lint", path.to_str().unwrap(), "--deny", "L999"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("L999"));
+}
+
+#[test]
+fn lint_runs_clean_over_the_shipped_example() {
+    // The CI job runs `chc lint --deny warnings` over examples/*.sdl;
+    // guard that contract here so it cannot rot silently.
+    let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
+    let out = chc(&["lint", schema.to_str().unwrap(), "--deny", "warnings"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn virtualize_with_broken_schema_exits_nonzero() {
+    // An embedded excuse makes `virtualize` produce virtual classes, and
+    // the unexcused Resident/Surgeon contradiction survives into the
+    // virtualized schema — `HAS ERRORS` must mean a failing exit code.
+    let path = write_schema(
+        "virt_broken.sdl",
+        "
+        class Address with city: String; state: {'NJ};
+        class Hospital with location: Address;
+        class Patient with treatedAt: Hospital;
+        class Tubercular_Patient is-a Patient with
+            treatedAt: Hospital [
+                location: Address [
+                    state: None excuses state on Address
+                ]
+            ];
+        class Surgeon with shift: {'Day};
+        class Resident is-a Surgeon with shift: {'Night};
+        ",
+    );
+    let out = chc(&["virtualize", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("HAS ERRORS"), "{stdout}");
+    assert!(stdout.contains("Resident"), "{stdout}");
+}
+
+#[test]
+fn virtualize_with_clean_schema_still_exits_zero() {
+    let path = write_schema("virt_clean.sdl", CLEAN);
+    let out = chc(&["virtualize", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}

@@ -99,12 +99,12 @@ fn trace_out_nesting_matches_the_aggregated_span_tree() {
     let tree: Vec<(usize, String)> = stdout
         .lines()
         .filter(|l| {
-            let name = l.trim_start().split_whitespace().next().unwrap_or("");
+            let name = l.split_whitespace().next().unwrap_or("");
             name.contains('.') && !l.contains(" object(s), ")
         })
         .map(|l| {
             let indent = l.len() - l.trim_start().len();
-            (indent / 2, l.trim_start().split_whitespace().next().unwrap().to_string())
+            (indent / 2, l.split_whitespace().next().unwrap().to_string())
         })
         .collect();
     assert!(!tree.is_empty(), "{stdout}");
