@@ -34,9 +34,9 @@ pub mod virtualize;
 pub use check::check;
 pub use diagnostics::{CheckReport, DiagKind, Diagnostic, Severity};
 pub use evolve::{affected_by_edit, recheck_incremental, Evolved};
-pub use sat::admits_common_value;
-pub use semantics::{constraint_holds, Semantics};
-pub use validate::{
-    object_is_valid, validate_object, MissingPolicy, ValidationOptions, Violation,
+pub use sat::{
+    admits_common_value, common_value_witness, explain_admissibility, Derivation, Witness,
 };
+pub use semantics::{constraint_holds, constraint_verdict, CheckVerdict, Semantics};
+pub use validate::{object_is_valid, validate_object, MissingPolicy, ValidationOptions, Violation};
 pub use virtualize::{virtualize, VirtualClassInfo, Virtualized};

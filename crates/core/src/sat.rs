@@ -1,5 +1,6 @@
 //! Joint admissibility of constraint sets — the value-existence test
-//! shared by the §5.1 checker and `chc-lint`'s incoherence lint (L001).
+//! shared by the §5.1 checker and `chc-lint`'s incoherence lint (L001)
+//! — and the [`Derivation`] provenance tree that justifies its answer.
 //!
 //! Under the §5.2 semantics, an instance of `class` satisfies a
 //! constraint `(B, p: R)` either directly (`x.p ∈ R`) or through an
@@ -9,12 +10,23 @@
 //! value for `p` iff some single value lies in every constraint's allowed
 //! set at once.
 //!
+//! The decision procedure is [`common_value_witness`], which returns
+//! *what* value exists (a [`Witness`]) rather than a bare boolean;
+//! [`admits_common_value`] is the boolean view the hot paths use, and
+//! [`explain_admissibility`] packages the same decision as a
+//! [`Derivation`]: which is-a edge contributed each constraint, which
+//! excuse enlarged which allowed set, and either a witness value or the
+//! empty-intersection verdict. Checker diagnostics (`chc check
+//! --explain`), lint findings (L001–L003), and the validator's audit
+//! ledger all justify their verdicts from this one structure.
+//!
 //! Entity-valued ranges (`Class(_)`, `AnyEntity`, refined records) are
 //! treated as mutually overlapping — a first-order approximation matching
 //! [`Range::overlaps`]: whether two entity classes share an instance is a
 //! question about extents, not the schema.
 
 use chc_model::{AttrSpec, ClassId, Range, Schema, Sym};
+use chc_obs::json::JsonValue;
 
 /// Does some single value satisfy every constraint on `attr` inherited
 /// by (or declared on) `class`, with applicable excuses folded in?
@@ -35,8 +47,60 @@ pub fn admits_common_value_of(
     attr: Sym,
     constraints: &[(ClassId, &AttrSpec)],
 ) -> bool {
+    common_value_witness_of(schema, class, attr, constraints).is_some()
+}
+
+/// A concrete value (or value kind) witnessing that a constraint set is
+/// jointly satisfiable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Witness {
+    /// Every constraint admits absence (`None` ranges all around).
+    Absent,
+    /// Every constraint admits an arbitrary string.
+    AnyString,
+    /// Every constraint admits a pure record value.
+    AnyRecord,
+    /// Every constraint admits an entity reference (class-valued ranges
+    /// are treated as mutually overlapping; see the module docs).
+    AnyEntity,
+    /// This enumeration token is in every allowed set.
+    Token(Sym),
+    /// This integer is in every allowed set.
+    Int(i64),
+}
+
+impl Witness {
+    /// A human-readable rendering (`'Dove`, `42`, `any string`, …).
+    pub fn render(&self, schema: &Schema) -> String {
+        match self {
+            Witness::Absent => "absent".to_string(),
+            Witness::AnyString => "any string".to_string(),
+            Witness::AnyRecord => "any record".to_string(),
+            Witness::AnyEntity => "an entity".to_string(),
+            Witness::Token(t) => format!("'{}", schema.resolve(*t)),
+            Witness::Int(i) => i.to_string(),
+        }
+    }
+}
+
+/// The witness-producing decision procedure behind
+/// [`admits_common_value`]: `Some(w)` iff the constraints on `attr`
+/// jointly admit a value, with `w` naming one such value (or value
+/// kind). `None` means the intersection of the allowed sets is empty.
+pub fn common_value_witness(schema: &Schema, class: ClassId, attr: Sym) -> Option<Witness> {
+    let constraints = schema.constraints_on(class, attr);
+    common_value_witness_of(schema, class, attr, &constraints)
+}
+
+/// As [`common_value_witness`], over an already-collected constraint set.
+pub fn common_value_witness_of(
+    schema: &Schema,
+    class: ClassId,
+    attr: Sym,
+    constraints: &[(ClassId, &AttrSpec)],
+) -> Option<Witness> {
     if constraints.is_empty() {
-        return true;
+        return Some(Witness::AnyEntity);
     }
 
     // An admission test with early exit: does the constraint (b, raw)
@@ -50,21 +114,28 @@ pub fn admits_common_value_of(
                 .any(|e| pred(&schema.excuser_spec(e).range))
     };
     let all_admit = |pred: &dyn Fn(&Range) -> bool| {
-        constraints.iter().all(|(b, spec)| admits(*b, &spec.range, pred))
+        constraints
+            .iter()
+            .all(|(b, spec)| admits(*b, &spec.range, pred))
     };
 
     // Kind shortcuts (a common value of that kind certainly exists).
-    if all_admit(&|r| matches!(r, Range::None))
-        || all_admit(&|r| matches!(r, Range::Str))
-        || all_admit(&|r| matches!(r, Range::Record { base: None, .. }))
-        || all_admit(&|r| {
-            matches!(
-                r,
-                Range::Class(_) | Range::AnyEntity | Range::Record { base: Some(_), .. }
-            )
-        })
-    {
-        return true;
+    if all_admit(&|r| matches!(r, Range::None)) {
+        return Some(Witness::Absent);
+    }
+    if all_admit(&|r| matches!(r, Range::Str)) {
+        return Some(Witness::AnyString);
+    }
+    if all_admit(&|r| matches!(r, Range::Record { base: None, .. })) {
+        return Some(Witness::AnyRecord);
+    }
+    if all_admit(&|r| {
+        matches!(
+            r,
+            Range::Class(_) | Range::AnyEntity | Range::Record { base: Some(_), .. }
+        )
+    }) {
+        return Some(Witness::AnyEntity);
     }
 
     // Tokens: materialize the first constraint's admitted tokens once
@@ -88,11 +159,15 @@ pub fn admits_common_value_of(
             break;
         }
         candidates.retain(|t| {
-            admits(*b, &spec.range, &|r| matches!(r, Range::Enum(set) if set.contains(t)))
+            admits(
+                *b,
+                &spec.range,
+                &|r| matches!(r, Range::Enum(set) if set.contains(t)),
+            )
         });
     }
-    if !candidates.is_empty() {
-        return true;
+    if let Some(&t) = candidates.first() {
+        return Some(Witness::Token(t));
     }
 
     // Integers: the first constraint's admitted intervals, clipped through
@@ -136,7 +211,231 @@ pub fn admits_common_value_of(
         next.dedup();
         intervals = next;
     }
-    !intervals.is_empty()
+    intervals.first().map(|&(lo, _)| Witness::Int(lo))
+}
+
+/// One excuse branch enlarging a constraint's allowed set for instances
+/// of the derivation's subject class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExcuseNode {
+    /// The class carrying the `excuses` clause.
+    pub excuser: ClassId,
+    /// The attribute whose declaration on the excuser carries it.
+    pub attr: Sym,
+    /// The excuser's declared range — what the branch admits.
+    pub range: Range,
+}
+
+/// One constraint contributing to the subject's allowed-set
+/// intersection, with the is-a path that imports it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintNode {
+    /// The class whose declaration states the constraint.
+    pub declarer: ClassId,
+    /// The declared range.
+    pub range: Range,
+    /// An is-a chain from the subject class to the declarer, inclusive
+    /// at both ends (`[subject]` alone when declared locally). One
+    /// shortest path is reported when several exist.
+    pub path: Vec<ClassId>,
+    /// Excuse branches applicable to the subject class that enlarge
+    /// this constraint's allowed set (§5.2: `x ∈ E ∧ x.p ∈ S_E`).
+    pub excuses: Vec<ExcuseNode>,
+}
+
+/// How a derivation concludes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The constraints jointly admit this witness value.
+    Admits(Witness),
+    /// The intersection of the allowed sets is empty: the subject class
+    /// is incoherent at the attribute.
+    Empty,
+    /// An excuse that can never fire: the excuser and the excused class
+    /// share no descendant, so no instance is ever entitled to the
+    /// branch (L002's finding).
+    NoSharedDescendant {
+        /// The class carrying the excuse.
+        excuser: ClassId,
+        /// The class whose constraint it claims to excuse.
+        on: ClassId,
+    },
+}
+
+/// A provenance tree justifying an admissibility verdict: for a subject
+/// `(class, attr)`, every contributing constraint with its is-a path
+/// and applicable excuse branches, plus the conclusion. Built by
+/// [`explain_admissibility`]; rendered by `chc check --explain` and
+/// embedded in L001–L003 lint findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// The class whose instances are being reasoned about.
+    pub class: ClassId,
+    /// The attribute under scrutiny.
+    pub attr: Sym,
+    /// Every constraint on `attr` the subject inherits or declares.
+    pub constraints: Vec<ConstraintNode>,
+    /// The conclusion, consistent with [`admits_common_value`].
+    pub verdict: Verdict,
+}
+
+impl Derivation {
+    /// Multi-line human-readable rendering (used by `chc check
+    /// --explain`).
+    pub fn render(&self, schema: &Schema) -> String {
+        let mut out = format!(
+            "derivation for `{}.{}`:\n",
+            schema.class_name(self.class),
+            schema.resolve(self.attr)
+        );
+        for c in &self.constraints {
+            let attr = schema.resolve(self.attr);
+            let via = if c.path.len() <= 1 {
+                "declared locally".to_string()
+            } else {
+                let names: Vec<&str> = c.path.iter().map(|p| schema.class_name(*p)).collect();
+                format!("via {}", names.join(" is-a "))
+            };
+            out.push_str(&format!(
+                "  constraint `{attr}: {}` on `{}` ({via})\n",
+                c.range.render(schema),
+                schema.class_name(c.declarer),
+            ));
+            for e in &c.excuses {
+                out.push_str(&format!(
+                    "    + excused by `{}.{}: {}` (allowed set grows)\n",
+                    schema.class_name(e.excuser),
+                    schema.resolve(e.attr),
+                    e.range.render(schema),
+                ));
+            }
+        }
+        match &self.verdict {
+            Verdict::Admits(w) => out.push_str(&format!(
+                "  verdict: satisfiable — admits {}\n",
+                w.render(schema)
+            )),
+            Verdict::Empty => out.push_str(
+                "  verdict: unsatisfiable — the intersection of the allowed sets is empty\n",
+            ),
+            Verdict::NoSharedDescendant { excuser, on } => out.push_str(&format!(
+                "  verdict: excuse can never apply — `{}` and `{}` share no descendant\n",
+                schema.class_name(*excuser),
+                schema.class_name(*on),
+            )),
+        }
+        out
+    }
+
+    /// The derivation as a [`JsonValue`] object (the shape embedded in
+    /// lint findings; see docs/OBSERVABILITY.md).
+    pub fn to_json(&self, schema: &Schema) -> JsonValue {
+        let constraints = JsonValue::array(self.constraints.iter().map(|c| {
+            JsonValue::object([
+                ("declarer", JsonValue::string(schema.class_name(c.declarer))),
+                ("range", JsonValue::string(&c.range.render(schema))),
+                (
+                    "path",
+                    JsonValue::array(
+                        c.path
+                            .iter()
+                            .map(|p| JsonValue::string(schema.class_name(*p))),
+                    ),
+                ),
+                (
+                    "excuses",
+                    JsonValue::array(c.excuses.iter().map(|e| {
+                        JsonValue::object([
+                            ("excuser", JsonValue::string(schema.class_name(e.excuser))),
+                            ("attr", JsonValue::string(schema.resolve(e.attr))),
+                            ("range", JsonValue::string(&e.range.render(schema))),
+                        ])
+                    })),
+                ),
+            ])
+        }));
+        let verdict = match &self.verdict {
+            Verdict::Admits(w) => JsonValue::object([
+                ("kind", JsonValue::string("admits")),
+                ("witness", JsonValue::string(&w.render(schema))),
+            ]),
+            Verdict::Empty => JsonValue::object([("kind", JsonValue::string("empty"))]),
+            Verdict::NoSharedDescendant { excuser, on } => JsonValue::object([
+                ("kind", JsonValue::string("dead-excuse")),
+                ("excuser", JsonValue::string(schema.class_name(*excuser))),
+                ("on", JsonValue::string(schema.class_name(*on))),
+            ]),
+        };
+        JsonValue::object([
+            ("class", JsonValue::string(schema.class_name(self.class))),
+            ("attr", JsonValue::string(schema.resolve(self.attr))),
+            ("constraints", constraints),
+            ("verdict", verdict),
+        ])
+    }
+}
+
+/// One shortest is-a chain from `from` down to its ancestor `to`,
+/// inclusive at both ends (BFS over direct supers).
+fn isa_path(schema: &Schema, from: ClassId, to: ClassId) -> Vec<ClassId> {
+    if from == to {
+        return vec![from];
+    }
+    let mut prev: std::collections::BTreeMap<ClassId, ClassId> = std::collections::BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(c) = queue.pop_front() {
+        for &s in schema.supers(c) {
+            if s != from && !prev.contains_key(&s) {
+                prev.insert(s, c);
+                if s == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = prev[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return path;
+                }
+                queue.push_back(s);
+            }
+        }
+    }
+    // `to` is not an ancestor (callers pass declarers from
+    // `constraints_on`, so this is defensive): report both endpoints.
+    vec![from, to]
+}
+
+/// Builds the full [`Derivation`] for `(class, attr)`: the same decision
+/// [`admits_common_value`] makes, with its evidence attached.
+pub fn explain_admissibility(schema: &Schema, class: ClassId, attr: Sym) -> Derivation {
+    let constraints = schema.constraints_on(class, attr);
+    let witness = common_value_witness_of(schema, class, attr, &constraints);
+    let nodes = constraints
+        .iter()
+        .map(|&(declarer, spec)| ConstraintNode {
+            declarer,
+            range: spec.range.clone(),
+            path: isa_path(schema, class, declarer),
+            excuses: schema
+                .applicable_excusers(class, declarer, attr)
+                .map(|e| ExcuseNode {
+                    excuser: e.excuser,
+                    attr: e.attr,
+                    range: schema.excuser_spec(e).range.clone(),
+                })
+                .collect(),
+        })
+        .collect();
+    Derivation {
+        class,
+        attr,
+        constraints: nodes,
+        verdict: match witness {
+            Some(w) => Verdict::Admits(w),
+            None => Verdict::Empty,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +448,14 @@ mod tests {
         let c = schema.class_by_name(class).unwrap();
         let a = schema.sym(attr).unwrap();
         admits_common_value(&schema, c, a)
+    }
+
+    fn explain(src: &str, class: &str, attr: &str) -> (chc_model::Schema, Derivation) {
+        let schema = compile(src).unwrap();
+        let c = schema.class_by_name(class).unwrap();
+        let a = schema.sym(attr).unwrap();
+        let d = explain_admissibility(&schema, c, a);
+        (schema, d)
     }
 
     #[test]
@@ -197,5 +504,118 @@ mod tests {
         let ghost = b.intern("ghost");
         drop(b);
         assert!(admits_common_value(&schema, t, ghost));
+    }
+
+    #[test]
+    fn witnesses_name_a_concrete_common_value() {
+        let schema = compile(
+            "
+            class A with p: 1..10; q: {'a, 'b}; r: String;
+            class B is-a A with p: 5..20; q: {'b, 'c};
+            ",
+        )
+        .unwrap();
+        let b = schema.class_by_name("B").unwrap();
+        let w = |attr: &str| common_value_witness(&schema, b, schema.sym(attr).unwrap()).unwrap();
+        assert_eq!(w("p"), Witness::Int(5), "lowest point of 1..10 ∩ 5..20");
+        let tok = match w("q") {
+            Witness::Token(t) => schema.resolve(t).to_string(),
+            other => panic!("expected token witness, got {other:?}"),
+        };
+        assert_eq!(tok, "b");
+        assert_eq!(w("r"), Witness::AnyString);
+    }
+
+    #[test]
+    fn derivation_names_conflicting_declarers_and_paths() {
+        let src = "
+            class Dove_Keeper with opinion: {'Dove};
+            class Hawk_Club with opinion: {'Hawk};
+            class Member is-a Dove_Keeper, Hawk_Club with badge: String;
+        ";
+        let (schema, d) = explain(src, "Member", "opinion");
+        assert_eq!(d.verdict, Verdict::Empty);
+        let declarers: Vec<&str> = d
+            .constraints
+            .iter()
+            .map(|c| schema.class_name(c.declarer))
+            .collect();
+        assert!(declarers.contains(&"Dove_Keeper"));
+        assert!(declarers.contains(&"Hawk_Club"));
+        for c in &d.constraints {
+            assert_eq!(c.path.first(), Some(&d.class), "path starts at the subject");
+            assert_eq!(
+                c.path.last(),
+                Some(&c.declarer),
+                "path ends at the declarer"
+            );
+        }
+        let text = d.render(&schema);
+        assert!(text.contains("Dove_Keeper"), "{text}");
+        assert!(text.contains("Hawk_Club"), "{text}");
+        assert!(text.contains("unsatisfiable"), "{text}");
+    }
+
+    #[test]
+    fn derivation_attaches_the_applicable_excuse_branch() {
+        let src = "
+            class A with p: 1..10;
+            class B is-a A with p: 20..30 excuses p on A;
+        ";
+        let (schema, d) = explain(src, "B", "p");
+        // B's local 20..30 intersected with A's excused allowed set
+        // ({1..10} ∪ {20..30}) leaves 20..30; the witness is its floor.
+        assert_eq!(d.verdict, Verdict::Admits(Witness::Int(20)));
+        let a = schema.class_by_name("A").unwrap();
+        let b = schema.class_by_name("B").unwrap();
+        let on_a = d.constraints.iter().find(|c| c.declarer == a).unwrap();
+        assert_eq!(on_a.excuses.len(), 1);
+        assert_eq!(on_a.excuses[0].excuser, b);
+        assert_eq!(on_a.excuses[0].range, Range::Int { lo: 20, hi: 30 });
+        let text = d.render(&schema);
+        assert!(text.contains("excused by `B.p: 20..30`"), "{text}");
+    }
+
+    #[test]
+    fn derivation_verdict_agrees_with_the_boolean_decision() {
+        let src = "
+            class A with p: 1..10; q: {'x};
+            class B is-a A with p: 20..30; q: {'x, 'y};
+        ";
+        let schema = compile(src).unwrap();
+        for class in schema.class_ids() {
+            for attr in ["p", "q"] {
+                let a = schema.sym(attr).unwrap();
+                let d = explain_admissibility(&schema, class, a);
+                assert_eq!(
+                    matches!(d.verdict, Verdict::Admits(_)),
+                    admits_common_value(&schema, class, a),
+                    "{}.{attr}",
+                    schema.class_name(class)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_json_round_trips_through_the_parser() {
+        let src = "
+            class Dove_Keeper with opinion: {'Dove};
+            class Hawk_Club with opinion: {'Hawk};
+            class Member is-a Dove_Keeper, Hawk_Club;
+        ";
+        let (schema, d) = explain(src, "Member", "opinion");
+        let json = d.to_json(&schema);
+        let parsed = chc_obs::json::parse(&json.render()).expect("renders valid JSON");
+        assert_eq!(parsed.get("class").and_then(|v| v.as_str()), Some("Member"));
+        let verdict = parsed.get("verdict").unwrap();
+        assert_eq!(verdict.get("kind").and_then(|v| v.as_str()), Some("empty"));
+        assert_eq!(
+            parsed
+                .get("constraints")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(2)
+        );
     }
 }

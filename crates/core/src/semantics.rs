@@ -65,6 +65,32 @@ impl Semantics {
     }
 }
 
+/// The audited outcome of one constraint evaluation: not just whether it
+/// held, but *which branch of the rule* made it hold — the provenance
+/// that the audit ledger (E11) records per executed run-time check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckVerdict {
+    /// The value lies in the declared range itself (`x.p ∈ R`).
+    Pass,
+    /// The value escapes the declared range but an excuse admits it —
+    /// a §6 "exceptional case", explicitly marked and retrievable.
+    Excused {
+        /// The class carrying the admitting `excuses` clause.
+        excuser: ClassId,
+        /// The attribute whose declaration on the excuser carries it.
+        attr: Sym,
+    },
+    /// No branch of the rule admits the value.
+    Violation,
+}
+
+impl CheckVerdict {
+    /// Whether the constraint held (by either branch).
+    pub fn holds(self) -> bool {
+        !matches!(self, CheckVerdict::Violation)
+    }
+}
+
 /// Evaluates whether object `x` satisfies the constraint `(on, attr, range)`
 /// under the chosen semantics, consulting `view` for `x`'s memberships and
 /// attribute values.
@@ -82,37 +108,89 @@ pub fn constraint_holds(
     range: &Range,
     value: &Value,
 ) -> bool {
+    constraint_verdict(schema, view, semantics, x, on, attr, range, value).holds()
+}
+
+/// As [`constraint_holds`], but reporting which branch of the rule
+/// decided: the declared range, a specific excuse, or neither. For the
+/// variants that consult excuses, the *first* admitting excuser (in
+/// declaration order) is the one named — the same order the boolean
+/// short-circuit always took.
+#[allow(clippy::too_many_arguments)] // the paper's judgment has exactly these inputs
+pub fn constraint_verdict(
+    schema: &Schema,
+    view: &dyn InstanceView,
+    semantics: Semantics,
+    x: Oid,
+    on: ClassId,
+    attr: Sym,
+    range: &Range,
+    value: &Value,
+) -> CheckVerdict {
     let in_r = range.contains(schema, view, value);
     if semantics == Semantics::Strict {
-        return in_r;
+        return if in_r {
+            CheckVerdict::Pass
+        } else {
+            CheckVerdict::Violation
+        };
     }
     let excusers = schema.excusers_of(on, attr);
+    let excused = |e: &chc_model::ExcuserEntry| CheckVerdict::Excused {
+        excuser: e.excuser,
+        attr: e.attr,
+    };
     match semantics {
         Semantics::Strict => unreachable!(),
         Semantics::Broadened => {
-            in_r || excusers
+            if in_r {
+                return CheckVerdict::Pass;
+            }
+            excusers
                 .iter()
-                .any(|e| schema.excuser_spec(e).range.contains(schema, view, value))
+                .find(|e| schema.excuser_spec(e).range.contains(schema, view, value))
+                .map(excused)
+                .unwrap_or(CheckVerdict::Violation)
         }
         Semantics::MemberOfExcuser => {
-            in_r || excusers.iter().any(|e| view.is_instance(x, e.excuser))
+            if in_r {
+                return CheckVerdict::Pass;
+            }
+            excusers
+                .iter()
+                .find(|e| view.is_instance(x, e.excuser))
+                .map(excused)
+                .unwrap_or(CheckVerdict::Violation)
         }
         Semantics::ExactPartition => {
             let in_some_excuser = excusers.iter().any(|e| view.is_instance(x, e.excuser));
             if in_some_excuser {
-                excusers.iter().any(|e| {
-                    view.is_instance(x, e.excuser)
-                        && schema.excuser_spec(e).range.contains(schema, view, value)
-                })
+                excusers
+                    .iter()
+                    .find(|e| {
+                        view.is_instance(x, e.excuser)
+                            && schema.excuser_spec(e).range.contains(schema, view, value)
+                    })
+                    .map(excused)
+                    .unwrap_or(CheckVerdict::Violation)
+            } else if in_r {
+                CheckVerdict::Pass
             } else {
-                in_r
+                CheckVerdict::Violation
             }
         }
         Semantics::Correct => {
-            in_r || excusers.iter().any(|e| {
-                view.is_instance(x, e.excuser)
-                    && schema.excuser_spec(e).range.contains(schema, view, value)
-            })
+            if in_r {
+                return CheckVerdict::Pass;
+            }
+            excusers
+                .iter()
+                .find(|e| {
+                    view.is_instance(x, e.excuser)
+                        && schema.excuser_spec(e).range.contains(schema, view, value)
+                })
+                .map(excused)
+                .unwrap_or(CheckVerdict::Violation)
         }
     }
 }
@@ -152,8 +230,12 @@ mod tests {
         let dove = b.intern("Dove");
         let ostrich = b.intern("Ostrich");
         let opinion = b.intern("opinion");
-        b.add_attr(person, "opinion", AttrSpec::plain(Range::enumeration([hawk, dove, ostrich]).unwrap()))
-            .unwrap();
+        b.add_attr(
+            person,
+            "opinion",
+            AttrSpec::plain(Range::enumeration([hawk, dove, ostrich]).unwrap()),
+        )
+        .unwrap();
         b.add_attr(
             quaker,
             "opinion",
@@ -184,7 +266,13 @@ mod tests {
         membership.insert((dick, person), true);
         let mut values = HashMap::new();
         values.insert((dick, opinion), Value::Tok(val));
-        (Toy { schema_ancestor: membership, values }, dick)
+        (
+            Toy {
+                schema_ancestor: membership,
+                values,
+            },
+            dick,
+        )
     }
 
     /// Checks dick against *both* class-local constraints (Quaker.opinion
@@ -224,8 +312,84 @@ mod tests {
         // other's condition must hold" — hawk fails Republican's excuse
         // branch pointing at Quaker, dove fails Quaker's pointing at
         // Republican... and neither original branch is reachable.
-        assert!(!dick_ok(Semantics::ExactPartition, "hawk") || !dick_ok(Semantics::ExactPartition, "dove"));
+        assert!(
+            !dick_ok(Semantics::ExactPartition, "hawk")
+                || !dick_ok(Semantics::ExactPartition, "dove")
+        );
         assert!(!dick_ok(Semantics::ExactPartition, "ostrich"));
+    }
+
+    #[test]
+    fn verdict_names_the_admitting_excuser() {
+        let (s, person, quaker, republican, opinion, hawk, _dove, _ostrich) = nixon();
+        let (view, dick) = dick_view(quaker, republican, person, opinion, hawk);
+        let v = Value::Tok(hawk);
+        // 'Hawk escapes Quaker's {'Dove}; Republican's excuse admits it.
+        let q_range = &s.declared_attr(quaker, opinion).unwrap().spec.range;
+        let verdict = constraint_verdict(
+            &s,
+            &view,
+            Semantics::Correct,
+            dick,
+            quaker,
+            opinion,
+            q_range,
+            &v,
+        );
+        assert_eq!(
+            verdict,
+            CheckVerdict::Excused {
+                excuser: republican,
+                attr: opinion
+            }
+        );
+        assert!(verdict.holds());
+        // A value inside the declared range is Pass, never Excused.
+        let r_range = &s.declared_attr(republican, opinion).unwrap().spec.range;
+        assert_eq!(
+            constraint_verdict(
+                &s,
+                &view,
+                Semantics::Correct,
+                dick,
+                republican,
+                opinion,
+                r_range,
+                &v
+            ),
+            CheckVerdict::Pass
+        );
+        // Under Strict the same check is a Violation.
+        assert_eq!(
+            constraint_verdict(
+                &s,
+                &view,
+                Semantics::Strict,
+                dick,
+                quaker,
+                opinion,
+                q_range,
+                &v
+            ),
+            CheckVerdict::Violation
+        );
+    }
+
+    #[test]
+    fn verdicts_agree_with_constraint_holds_across_all_semantics() {
+        let (s, person, quaker, republican, opinion, hawk, dove, ostrich) = nixon();
+        for tok in [hawk, dove, ostrich] {
+            let (view, dick) = dick_view(quaker, republican, person, opinion, tok);
+            let v = Value::Tok(tok);
+            for sem in Semantics::ALL {
+                for on in [person, quaker, republican] {
+                    let range = &s.declared_attr(on, opinion).unwrap().spec.range;
+                    let held = constraint_holds(&s, &view, sem, dick, on, opinion, range, &v);
+                    let verdict = constraint_verdict(&s, &view, sem, dick, on, opinion, range, &v);
+                    assert_eq!(held, verdict.holds(), "{sem:?} on {on:?} tok {tok:?}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -253,11 +417,32 @@ mod tests {
         membership.insert((pure_quaker, person), true);
         let mut values = HashMap::new();
         values.insert((pure_quaker, opinion), Value::Tok(hawk));
-        let view = Toy { schema_ancestor: membership, values };
+        let view = Toy {
+            schema_ancestor: membership,
+            values,
+        };
         let q_range = &s.declared_attr(quaker, opinion).unwrap().spec.range;
         let v = Value::Tok(hawk);
-        assert!(constraint_holds(&s, &view, Semantics::Broadened, pure_quaker, quaker, opinion, q_range, &v));
-        assert!(!constraint_holds(&s, &view, Semantics::Correct, pure_quaker, quaker, opinion, q_range, &v));
+        assert!(constraint_holds(
+            &s,
+            &view,
+            Semantics::Broadened,
+            pure_quaker,
+            quaker,
+            opinion,
+            q_range,
+            &v
+        ));
+        assert!(!constraint_holds(
+            &s,
+            &view,
+            Semantics::Correct,
+            pure_quaker,
+            quaker,
+            opinion,
+            q_range,
+            &v
+        ));
         let _ = republican;
     }
 }

@@ -7,8 +7,9 @@
 //! of some other class which excuses this constraint" (§5.1).
 
 use chc_model::{ClassId, InstanceView, Oid, Schema, Sym, Value};
+use chc_obs::{names, Event, EventLevel};
 
-use crate::semantics::{constraint_holds, Semantics};
+use crate::semantics::{constraint_verdict, CheckVerdict, Semantics};
 
 /// How to treat attributes with no stored value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +34,10 @@ pub struct ValidationOptions {
 
 impl Default for ValidationOptions {
     fn default() -> Self {
-        ValidationOptions { semantics: Semantics::Correct, missing: MissingPolicy::Absent }
+        ValidationOptions {
+            semantics: Semantics::Correct,
+            missing: MissingPolicy::Absent,
+        }
     }
 }
 
@@ -92,7 +96,7 @@ pub fn validate_object(
                 (None, MissingPolicy::Absent) => Value::Absent,
                 (Some(v), _) => v.clone(),
             };
-            if !constraint_holds(
+            let verdict = constraint_verdict(
                 schema,
                 view,
                 opts.semantics,
@@ -101,8 +105,35 @@ pub fn validate_object(
                 decl.name,
                 &decl.spec.range,
                 &value,
-            ) {
-                out.push(Violation { class, attr: decl.name, value });
+            );
+            // One executed check = one counter tick = one ledger record;
+            // the E11 acceptance check asserts these totals agree.
+            chc_obs::counter(names::VALIDATE_CHECKS, 1);
+            if matches!(verdict, CheckVerdict::Excused { .. }) {
+                chc_obs::counter(names::VALIDATE_ADMITTED, 1);
+            }
+            chc_obs::event_with(|| {
+                let mut ev = Event::new(EventLevel::Audit, names::EVENT_VALIDATE_CHECK)
+                    .field("object", x.raw())
+                    .field("class", schema.class_name(class))
+                    .field("attr", schema.resolve(decl.name))
+                    .field("value", value.render(schema));
+                ev = match verdict {
+                    CheckVerdict::Pass => ev.field("verdict", "pass"),
+                    CheckVerdict::Excused { excuser, attr } => ev
+                        .field("verdict", "excused")
+                        .field("excuser", schema.class_name(excuser))
+                        .field("excuse_attr", schema.resolve(attr)),
+                    CheckVerdict::Violation => ev.field("verdict", "violation"),
+                };
+                ev
+            });
+            if verdict == CheckVerdict::Violation {
+                out.push(Violation {
+                    class,
+                    attr: decl.name,
+                    value,
+                });
             }
         }
     }
@@ -176,8 +207,7 @@ mod tests {
         let schema = nixon_schema();
         for (tok, ok) in [("Hawk", true), ("Dove", true), ("Ostrich", false)] {
             let (view, x, classes) = dick(&schema, tok);
-            let valid =
-                object_is_valid(&schema, &view, ValidationOptions::default(), x, &classes);
+            let valid = object_is_valid(&schema, &view, ValidationOptions::default(), x, &classes);
             assert_eq!(valid, ok, "opinion {tok}");
         }
     }
@@ -227,7 +257,10 @@ mod tests {
         let schema = compile("class Person with name: String;").unwrap();
         let person = schema.class_by_name("Person").unwrap();
         let x = Oid::from_raw(0);
-        let view = MapView { member: HashMap::new(), values: HashMap::new() };
+        let view = MapView {
+            member: HashMap::new(),
+            values: HashMap::new(),
+        };
         let vacuous = ValidationOptions {
             semantics: Semantics::Correct,
             missing: MissingPolicy::Vacuous,
@@ -235,6 +268,88 @@ mod tests {
         assert!(object_is_valid(&schema, &view, vacuous, x, &[person]));
         let absent = ValidationOptions::default();
         assert!(!object_is_valid(&schema, &view, absent, x, &[person]));
+    }
+
+    #[test]
+    fn audit_ledger_records_one_event_per_executed_check() {
+        use chc_obs::AuditRecorder;
+        use std::sync::Arc;
+
+        let schema = nixon_schema();
+        let (view, x, classes) = dick(&schema, "Hawk");
+        let audit = Arc::new(AuditRecorder::new());
+        let stats = Arc::new(chc_obs::StatsRecorder::new());
+        let fan = Arc::new(chc_obs::FanoutRecorder::new(vec![
+            audit.clone() as Arc<dyn chc_obs::Recorder>,
+            stats.clone() as Arc<dyn chc_obs::Recorder>,
+        ]));
+        {
+            let _g = chc_obs::scoped(fan);
+            let violations =
+                validate_object(&schema, &view, ValidationOptions::default(), x, &classes);
+            assert!(violations.is_empty());
+        }
+        // One ledger record per executed check, equal to the counter.
+        let events = audit.events();
+        assert_eq!(
+            events.len() as u64,
+            stats.counter_value(chc_obs::names::VALIDATE_CHECKS)
+        );
+        assert_eq!(
+            events.len(),
+            3,
+            "Person, Quaker, Republican each check opinion"
+        );
+        // dick's 'Hawk violates Quaker's {'Dove}; the record must name
+        // the admitting excuse (Republican's opinion declaration).
+        let excused: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("verdict").and_then(|v| v.as_str()) == Some("excused"))
+            .collect();
+        assert_eq!(excused.len(), 1);
+        assert_eq!(
+            excused[0].get("class").and_then(|v| v.as_str()),
+            Some("Quaker")
+        );
+        assert_eq!(
+            excused[0].get("excuser").and_then(|v| v.as_str()),
+            Some("Republican")
+        );
+        assert_eq!(
+            excused[0].get("excuse_attr").and_then(|v| v.as_str()),
+            Some("opinion")
+        );
+        assert_eq!(
+            excused[0].get("value").and_then(|v| v.as_str()),
+            Some("'Hawk")
+        );
+        assert_eq!(
+            stats.counter_value(chc_obs::names::VALIDATE_ADMITTED),
+            1,
+            "one admission through an excuse"
+        );
+    }
+
+    #[test]
+    fn vacuous_skips_are_not_executed_checks() {
+        use std::sync::Arc;
+        let schema = compile("class Person with name: String;").unwrap();
+        let person = schema.class_by_name("Person").unwrap();
+        let x = Oid::from_raw(0);
+        let view = MapView {
+            member: HashMap::new(),
+            values: HashMap::new(),
+        };
+        let stats = Arc::new(chc_obs::StatsRecorder::new());
+        {
+            let _g = chc_obs::scoped(stats.clone());
+            let vacuous = ValidationOptions {
+                semantics: Semantics::Correct,
+                missing: MissingPolicy::Vacuous,
+            };
+            validate_object(&schema, &view, vacuous, x, &[person]);
+        }
+        assert_eq!(stats.counter_value(chc_obs::names::VALIDATE_CHECKS), 0);
     }
 
     #[test]
@@ -253,9 +368,18 @@ mod tests {
         let mut member = HashMap::new();
         member.insert((x, patient), true);
         member.insert((x, ambulatory), true);
-        let view = MapView { member, values: HashMap::new() };
+        let view = MapView {
+            member,
+            values: HashMap::new(),
+        };
         // No ward value: Absent satisfies Ambulatory's None range, and the
         // Patient constraint is excused (x ∈ Ambulatory, Absent ∈ None).
-        assert!(object_is_valid(&schema, &view, ValidationOptions::default(), x, &[ambulatory]));
+        assert!(object_is_valid(
+            &schema,
+            &view,
+            ValidationOptions::default(),
+            x,
+            &[ambulatory]
+        ));
     }
 }

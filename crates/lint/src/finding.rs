@@ -1,5 +1,6 @@
 //! Lint findings: what a lint reports, where, and how loudly.
 
+use chc_core::Derivation;
 use chc_model::{ClassId, Schema, Span, Sym};
 use chc_obs::json::JsonValue;
 
@@ -23,6 +24,12 @@ pub struct Finding {
     pub span: Option<Span>,
     /// Human-readable explanation, with schema names resolved.
     pub message: String,
+    /// The provenance tree justifying the verdict, when the lint's
+    /// decision came from the shared admissibility procedure
+    /// (L001/L002/L003). Embedded in the JSON report so the linter, the
+    /// checker's `--explain`, and the validator's audit ledger all cite
+    /// the same structure.
+    pub derivation: Option<Derivation>,
 }
 
 impl Finding {
@@ -53,6 +60,9 @@ impl Finding {
         if let Some(span) = self.span {
             fields.push(("line", JsonValue::number(span.line as f64)));
             fields.push(("col", JsonValue::number(span.col as f64)));
+        }
+        if let Some(d) = &self.derivation {
+            fields.push(("derivation", d.to_json(schema)));
         }
         JsonValue::object(fields)
     }

@@ -9,6 +9,8 @@
 //! This extends the checker's §5.3 redundant-excuse warning (an excuse
 //! for a non-contradiction) to excuses that are structurally unusable.
 
+use chc_core::sat::{ConstraintNode, Derivation, ExcuseNode, Verdict};
+
 use crate::config::LintLevel;
 use crate::finding::Finding;
 use crate::lints::LintCtx;
@@ -22,6 +24,32 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                 if ctx.share_descendant(class, exc.on) {
                     continue;
                 }
+                // The same provenance shape the coherence lints use: the
+                // excused constraint with the (unusable) branch attached,
+                // concluded by the no-shared-descendant verdict.
+                let derivation = Derivation {
+                    class: exc.on,
+                    attr: exc.attr,
+                    constraints: schema
+                        .declared_attr(exc.on, exc.attr)
+                        .map(|d| {
+                            vec![ConstraintNode {
+                                declarer: exc.on,
+                                range: d.spec.range.clone(),
+                                path: vec![exc.on],
+                                excuses: vec![ExcuseNode {
+                                    excuser: class,
+                                    attr: decl.name,
+                                    range: decl.spec.range.clone(),
+                                }],
+                            }]
+                        })
+                        .unwrap_or_default(),
+                    verdict: Verdict::NoSharedDescendant {
+                        excuser: class,
+                        on: exc.on,
+                    },
+                };
                 out.push(Finding {
                     code: LintCode::DeadExcuse,
                     level: LintLevel::Warn,
@@ -38,6 +66,7 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                         attr = schema.resolve(exc.attr),
                         class = schema.class_name(class),
                     ),
+                    derivation: Some(derivation),
                 });
             }
         }

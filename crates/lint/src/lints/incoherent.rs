@@ -39,6 +39,7 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                 schema.class_name(class),
                 schema.resolve(attr),
             ),
+            derivation: Some(chc_core::explain_admissibility(schema, class, attr)),
         });
     }
 }

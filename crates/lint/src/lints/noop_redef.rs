@@ -39,6 +39,7 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                     attr = schema.resolve(decl.name),
                     from = schema.class_name(from),
                 ),
+                derivation: None,
             });
         }
     }

@@ -37,6 +37,7 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                     sup = schema.class_name(sup),
                     via = schema.class_name(via),
                 ),
+                derivation: None,
             });
         }
     }

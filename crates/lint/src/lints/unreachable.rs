@@ -29,6 +29,18 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                 if ctx.share_coherent_descendant(entry.excuser, host) {
                     continue;
                 }
+                // Justify "every shared descendant is incoherent" with the
+                // derivation for one shared descendant at one attribute
+                // where its constraint set admits nothing.
+                let derivation = schema
+                    .descendants_with_self(entry.excuser)
+                    .filter(|&d| schema.is_subclass(d, host))
+                    .find_map(|d| {
+                        ctx.incoherent_at
+                            .iter()
+                            .find(|(c, _)| *c == d)
+                            .map(|&(c, a)| chc_core::explain_admissibility(schema, c, a))
+                    });
                 out.push(Finding {
                     code: LintCode::UnreachableBranch,
                     level: LintLevel::Warn,
@@ -38,7 +50,9 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                         .source_map()
                         .excuse_span(entry.excuser, decl.name, host)
                         .or_else(|| {
-                            schema.source_map().site_span(entry.excuser, Some(entry.attr))
+                            schema
+                                .source_map()
+                                .site_span(entry.excuser, Some(entry.attr))
                         }),
                     message: format!(
                         "conditional-type branch guarded by `{excuser}` in `{host}.{attr}` is \
@@ -48,6 +62,7 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                         host = schema.class_name(host),
                         attr = schema.resolve(decl.name),
                     ),
+                    derivation,
                 });
             }
         }

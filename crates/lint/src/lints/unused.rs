@@ -42,6 +42,7 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                  and declares no attributes",
                 schema.class_name(class),
             ),
+            derivation: None,
         });
     }
 }

@@ -97,7 +97,10 @@ fn fires_findings_carry_file_positions() {
         // The rendered block quotes the offending source line with a caret.
         let text = chc_lint::render_finding(f, &schema, Some(src));
         assert!(text.contains(&format!("--> {loc}")), "{text}");
-        assert!(text.lines().last().unwrap().trim_end().ends_with('^'), "{text}");
+        assert!(
+            text.lines().last().unwrap().trim_end().ends_with('^'),
+            "{text}"
+        );
     }
 }
 
@@ -128,7 +131,10 @@ fn json_report_round_trips_through_chc_obs() {
     let text = json.render();
     let parsed = chc_obs::json::parse(&text).expect("valid JSON");
     assert_eq!(parsed, json);
-    assert_eq!(parsed.get("tool").and_then(|v| v.as_str()), Some("chc-lint"));
+    assert_eq!(
+        parsed.get("tool").and_then(|v| v.as_str()),
+        Some("chc-lint")
+    );
     assert_eq!(
         parsed.get("file").and_then(|v| v.as_str()),
         Some("L001_fires.sdl")
@@ -138,6 +144,55 @@ fn json_report_round_trips_through_chc_obs() {
     let f = &findings[0];
     assert_eq!(f.get("code").and_then(|v| v.as_str()), Some("L001"));
     assert!(f.get("line").and_then(|v| v.as_f64()).is_some());
+}
+
+#[test]
+fn coherence_findings_embed_a_derivation() {
+    // L001/L002/L003 justify their verdicts with the same Derivation
+    // structure the checker's --explain renders.
+    for (fixture, code, verdict_kind) in [
+        (include_str!("fixtures/L001_fires.sdl"), "L001", "empty"),
+        (
+            include_str!("fixtures/L002_fires.sdl"),
+            "L002",
+            "dead-excuse",
+        ),
+        (include_str!("fixtures/L003_fires.sdl"), "L003", "empty"),
+    ] {
+        let (schema, report) = lint(fixture, "fixture.sdl");
+        let json = report.to_json(&schema);
+        let findings = json.get("findings").and_then(|v| v.as_array()).unwrap();
+        let f = findings
+            .iter()
+            .find(|f| f.get("code").and_then(|v| v.as_str()) == Some(code))
+            .unwrap_or_else(|| panic!("{code} fires on its fixture"));
+        let d = f
+            .get("derivation")
+            .unwrap_or_else(|| panic!("{code} carries a derivation"));
+        assert_eq!(
+            d.get("verdict")
+                .and_then(|v| v.get("kind"))
+                .and_then(|v| v.as_str()),
+            Some(verdict_kind),
+            "{code}"
+        );
+        assert!(
+            !d.get("constraints")
+                .and_then(|v| v.as_array())
+                .unwrap()
+                .is_empty(),
+            "{code} derivation cites at least one constraint"
+        );
+    }
+    // Structural lints carry no derivation.
+    let (schema, report) = lint(include_str!("fixtures/L004_fires.sdl"), "f.sdl");
+    let json = report.to_json(&schema);
+    let findings = json.get("findings").and_then(|v| v.as_array()).unwrap();
+    let f = findings
+        .iter()
+        .find(|f| f.get("code").and_then(|v| v.as_str()) == Some("L004"))
+        .unwrap();
+    assert!(f.get("derivation").is_none());
 }
 
 #[test]

@@ -127,19 +127,23 @@ impl Range {
             (Range::Class(c), Value::Obj(o)) => view.is_instance(*o, *c),
             (Range::AnyEntity, Value::Obj(_)) => true,
             (Range::None, Value::Absent) => true,
-            (Range::Record { base: Some(c), fields }, Value::Obj(o)) => {
+            (
+                Range::Record {
+                    base: Some(c),
+                    fields,
+                },
+                Value::Obj(o),
+            ) => {
                 view.is_instance(*o, *c)
                     && fields.iter().all(|f| {
                         let v = view.attr_value(*o, f.name).unwrap_or(Value::Absent);
                         f.spec.range.contains(schema, view, &v)
                     })
             }
-            (Range::Record { base: None, fields }, Value::Record(_)) => {
-                fields.iter().all(|f| {
-                    let v = value.field(f.name).cloned().unwrap_or(Value::Absent);
-                    f.spec.range.contains(schema, view, &v)
-                })
-            }
+            (Range::Record { base: None, fields }, Value::Record(_)) => fields.iter().all(|f| {
+                let v = value.field(f.name).cloned().unwrap_or(Value::Absent);
+                f.spec.range.contains(schema, view, &v)
+            }),
             _ => false,
         }
     }
@@ -170,8 +174,14 @@ impl Range {
             | (Range::AnyEntity, Range::Record { base: Some(_), .. }) => true,
             (Range::None, Range::None) => true,
             (
-                Range::Record { base: sup_base, fields: sup_fields },
-                Range::Record { base: sub_base, fields: sub_fields },
+                Range::Record {
+                    base: sup_base,
+                    fields: sup_fields,
+                },
+                Range::Record {
+                    base: sub_base,
+                    fields: sub_fields,
+                },
             ) => {
                 let base_ok = match (sup_base, sub_base) {
                     (None, _) => true,
@@ -192,12 +202,61 @@ impl Range {
                             .unwrap_or(false)
                     })
             }
-            (Range::Record { base: Some(b), fields }, Range::Class(a)) => {
+            (
+                Range::Record {
+                    base: Some(b),
+                    fields,
+                },
+                Range::Class(a),
+            ) => {
                 // `C [..]` subsumes a plain class only if the refinement adds
                 // nothing, i.e. there are no refined fields.
                 fields.is_empty() && schema.is_subclass(*a, *b)
             }
             _ => false,
+        }
+    }
+
+    /// A compact, single-line rendering in SDL syntax, for diagnostics
+    /// and the audit ledger (record fields are rendered in-line rather
+    /// than with the pretty-printer's indentation).
+    pub fn render(&self, schema: &Schema) -> String {
+        match self {
+            Range::Int { lo, hi } if *lo == i64::MIN && *hi == i64::MAX => "Integer".to_string(),
+            Range::Int { lo, hi } => format!("{lo}..{hi}"),
+            Range::Str => "String".to_string(),
+            Range::None => "None".to_string(),
+            Range::AnyEntity => "AnyEntity".to_string(),
+            Range::Enum(toks) => {
+                let mut names: Vec<String> = toks
+                    .iter()
+                    .map(|t| format!("'{}", schema.resolve(*t)))
+                    .collect();
+                names.sort();
+                format!("{{{}}}", names.join(", "))
+            }
+            Range::Class(c) => schema.class_name(*c).to_string(),
+            Range::Record { base, fields } => {
+                let mut out = String::new();
+                if let Some(b) = base {
+                    out.push_str(schema.class_name(*b));
+                    out.push(' ');
+                }
+                out.push('[');
+                let rendered: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{}: {}",
+                            schema.resolve(f.name),
+                            f.spec.range.render(schema)
+                        )
+                    })
+                    .collect();
+                out.push_str(&rendered.join("; "));
+                out.push(']');
+                out
+            }
         }
     }
 
@@ -245,7 +304,10 @@ pub struct AttrSpec {
 impl AttrSpec {
     /// A specification with no excuses.
     pub fn plain(range: Range) -> Self {
-        AttrSpec { range, excuses: Vec::new() }
+        AttrSpec {
+            range,
+            excuses: Vec::new(),
+        }
     }
 
     /// Adds an `excuses attr on class` clause.
@@ -343,14 +405,20 @@ mod tests {
         let sup = Range::record(
             &names,
             None,
-            vec![FieldSpec { name: street, spec: AttrSpec::plain(Range::Str) }],
+            vec![FieldSpec {
+                name: street,
+                spec: AttrSpec::plain(Range::Str),
+            }],
         )
         .unwrap();
         let sub = Range::record(
             &names,
             None,
             vec![
-                FieldSpec { name: street, spec: AttrSpec::plain(Range::Str) },
+                FieldSpec {
+                    name: street,
+                    spec: AttrSpec::plain(Range::Str),
+                },
                 FieldSpec {
                     name: room,
                     spec: AttrSpec::plain(Range::int(1, 9999).unwrap()),
@@ -359,7 +427,10 @@ mod tests {
         )
         .unwrap();
         assert!(sup.subsumes(&schema, &sub), "extra fields are fine (width)");
-        assert!(!sub.subsumes(&schema, &sup), "missing field breaks subsumption");
+        assert!(
+            !sub.subsumes(&schema, &sup),
+            "missing field breaks subsumption"
+        );
     }
 
     #[test]
@@ -371,7 +442,10 @@ mod tests {
         let r = Range::record(
             &names,
             None,
-            vec![FieldSpec { name: street, spec: AttrSpec::plain(Range::Str) }],
+            vec![FieldSpec {
+                name: street,
+                spec: AttrSpec::plain(Range::Str),
+            }],
         )
         .unwrap();
         let ok = Value::record(vec![(street, Value::str("Main"))]);
@@ -389,10 +463,21 @@ mod tests {
             &names,
             None,
             vec![
-                FieldSpec { name: street, spec: AttrSpec::plain(Range::Str) },
-                FieldSpec { name: street, spec: AttrSpec::plain(Range::Str) },
+                FieldSpec {
+                    name: street,
+                    spec: AttrSpec::plain(Range::Str),
+                },
+                FieldSpec {
+                    name: street,
+                    spec: AttrSpec::plain(Range::Str),
+                },
             ],
         );
-        assert_eq!(err, Err(ModelError::DuplicateField { field: "street".into() }));
+        assert_eq!(
+            err,
+            Err(ModelError::DuplicateField {
+                field: "street".into()
+            })
+        );
     }
 }

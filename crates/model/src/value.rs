@@ -59,6 +59,25 @@ impl Value {
         }
     }
 
+    /// A compact, single-line rendering with symbols resolved, for
+    /// diagnostics and the audit ledger.
+    pub fn render(&self, schema: &crate::schema::Schema) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => format!("{s:?}"),
+            Value::Tok(t) => format!("'{}", schema.resolve(*t)),
+            Value::Obj(o) => format!("{o}"),
+            Value::Record(fields) => {
+                let rendered: Vec<String> = fields
+                    .iter()
+                    .map(|(name, v)| format!("{} = {}", schema.resolve(*name), v.render(schema)))
+                    .collect();
+                format!("[{}]", rendered.join(", "))
+            }
+            Value::Absent => "absent".to_string(),
+        }
+    }
+
     /// Whether this value is [`Value::Absent`].
     pub fn is_absent(&self) -> bool {
         matches!(self, Value::Absent)

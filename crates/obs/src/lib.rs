@@ -9,6 +9,8 @@
 //! * **named counters** and **histograms** ([`counter`], [`histogram`]),
 //! * **hierarchical spans** with monotonic [`std::time::Instant`] timing
 //!   ([`span`]),
+//! * **structured audit events** with leveled key-value payloads
+//!   ([`event`], [`event_with`]) — see [`events`],
 //!
 //! behind a cheap [`Recorder`] trait. When no recorder is installed
 //! (the default), every instrumentation call is a single relaxed atomic
@@ -25,8 +27,10 @@
 //! [`TraceRecorder`] keeps the event-level timeline instead: a bounded
 //! ring of timestamped span begin/end events exportable as Chrome
 //! trace-event JSON (Perfetto) or folded stacks (flamegraphs) — see
-//! [`trace`]. [`FanoutRecorder`] feeds one run to several recorders at
-//! once (the CLI's `--trace --trace-out` combination).
+//! [`trace`]. [`AuditRecorder`] retains the structured-event ledger and
+//! renders it as JSON lines — see [`events`]. [`FanoutRecorder`] feeds
+//! one run to several recorders at once (the CLI's `--trace
+//! --trace-out` combination).
 //!
 //! Recorders can be installed two ways:
 //!
@@ -55,11 +59,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod json;
 pub mod names;
 mod stats;
 pub mod trace;
 
+pub use events::{AuditRecorder, Event, EventLevel, FieldValue};
 pub use stats::{HistogramSummary, SpanNode, StatsRecorder};
 pub use trace::{FanoutRecorder, TraceEvent, TraceEventKind, TraceRecorder};
 
@@ -82,6 +88,12 @@ pub trait Recorder: Send + Sync {
     /// The innermost open span with this name just closed, having run
     /// for `nanos` nanoseconds.
     fn span_exit(&self, name: &'static str, nanos: u64);
+    /// A structured event was emitted. Defaults to discarding it, so
+    /// recorders that aggregate numeric work (stats, traces) ignore the
+    /// audit stream; [`AuditRecorder`] overrides this to retain it.
+    fn event(&self, event: &events::Event) {
+        let _ = event;
+    }
 }
 
 /// Number of live recorder installations (global plus scoped). While
@@ -172,6 +184,25 @@ pub fn counter(name: &'static str, delta: u64) {
 pub fn histogram(name: &'static str, value: u64) {
     if enabled() {
         dispatch(|r| r.histogram(name, value));
+    }
+}
+
+/// Emits a structured event to the active recorder, if any.
+#[inline]
+pub fn event(event: Event) {
+    if enabled() {
+        dispatch(|r| r.event(&event));
+    }
+}
+
+/// Emits a structured event built lazily: `build` runs only when a
+/// recorder is installed, so hot paths never pay for resolving names or
+/// rendering values into the payload on the disabled path.
+#[inline]
+pub fn event_with(build: impl FnOnce() -> Event) {
+    if enabled() {
+        let event = build();
+        dispatch(|r| r.event(&event));
     }
 }
 

@@ -82,6 +82,23 @@ pub const SPAN_EXTENT_REFRESH: &str = "extent.refresh_virtual";
 /// Span: validating one stored object against its classes.
 pub const SPAN_VALIDATE_STORED: &str = "validate.stored";
 
+// --- chc-core::validate (E11, audit ledger) ---
+
+/// Run-time constraint checks actually executed by instance validation
+/// (one per `(object, class, attribute)` evaluation; vacuous skips of
+/// unset attributes are not counted). The audit ledger writes exactly
+/// one `validate.check` event per increment.
+pub const VALIDATE_CHECKS: &str = "validate.checks";
+/// Checks whose value escaped the declared range but was admitted by an
+/// applicable excuse (§5.2 — the "exceptional cases" of §6).
+pub const VALIDATE_ADMITTED: &str = "validate.admitted";
+/// Event: one executed run-time check — object surrogate, class,
+/// attribute, value, verdict, and the admitting excuse if any.
+pub const EVENT_VALIDATE_CHECK: &str = "validate.check";
+/// Event: maps a loaded object's source name to its surrogate, so the
+/// ledger's `object` fields can be joined back to `.chd` names.
+pub const EVENT_VALIDATE_OBJECT: &str = "validate.object";
+
 // --- chc-lint ---
 
 /// Span: one whole `chc_lint::run(schema)` pass.

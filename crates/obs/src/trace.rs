@@ -376,6 +376,12 @@ impl Recorder for FanoutRecorder {
             s.span_exit(name, nanos);
         }
     }
+
+    fn event(&self, event: &crate::events::Event) {
+        for s in &self.sinks {
+            s.event(event);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +435,45 @@ mod tests {
         assert_eq!(r.dropped(), 4);
         // Oldest events went first: buffer holds the last two pairs.
         assert_eq!(r.events()[0].kind, TraceEventKind::Begin);
+    }
+
+    #[test]
+    fn exporters_stay_well_formed_after_ring_overflow() {
+        // Fill well past capacity so begins are evicted while their ends
+        // remain: both exporters must still emit valid output.
+        let r = TraceRecorder::with_capacity(4);
+        r.span_enter("run");
+        for _ in 0..16 {
+            r.span_enter("step");
+            r.counter("work", 1);
+            r.span_exit("step", 0);
+        }
+        r.span_exit("run", 0);
+        assert!(r.dropped() > 0);
+
+        let doc = json::parse(&r.to_chrome_trace()).expect("chrome trace parses after overflow");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(JsonValue::as_str), Some("B" | "E")))
+            .count();
+        assert_eq!(spans, 4, "exactly the retained events are exported");
+        for ev in events {
+            if ev.get("ph").and_then(JsonValue::as_str) != Some("M") {
+                assert!(ev.get("ts").and_then(JsonValue::as_f64).is_some(), "{ev:?}");
+            }
+        }
+
+        // Folded stacks: ends whose begins were evicted (`run`'s begin
+        // is long gone) are skipped; surviving lines keep the
+        // `path value` shape.
+        let folded = r.to_folded_stacks();
+        for line in folded.lines() {
+            let (path, v) = line.rsplit_once(' ').expect("`path value` shape");
+            assert!(!path.is_empty());
+            v.parse::<u64>().expect("integer self-time");
+        }
+        assert!(folded.lines().any(|l| l.starts_with("step ")), "{folded}");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! `chc` — a command-line front end for schemas with contradictions.
 //!
 //! ```text
-//! chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <command> ...
+//! chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>]
+//!     [--stats-out <f.json>] [--audit-out <f.jsonl>] <command> ...
 //!
-//! chc check <schema.sdl>                 type-check a schema (exit 1 on errors)
+//! chc check <schema.sdl> [--explain]     type-check a schema (exit 1 on errors);
+//!                                        --explain prints an admissibility
+//!                                        derivation for each diagnosed site
 //! chc lint <schema.sdl> [--format text|json]
 //!          [--allow <code>] [--warn <code>] [--deny <code>] [--deny warnings]
 //!                                        run the static-analysis lints (docs/LINTS.md)
@@ -13,32 +16,40 @@
 //! chc explain <schema.sdl> <Class> [<attr>]
 //!                                        effective conditional types (§5.4)
 //! chc analyze <schema.sdl> "<query>"     static safety analysis of a query
-//! chc validate <schema.sdl> <data.chd>   load instance data and validate it
+//! chc validate <schema.sdl> <data.chd> [--audit-summary]
+//!                                        load instance data and validate it;
+//!                                        --audit-summary prints admissions
+//!                                        grouped by excuse (E11)
 //! ```
 //!
 //! Global flags may appear anywhere, before or after the subcommand.
 //! `--trace` prints a span tree (what ran, how long) and `--stats` the
-//! counter table (subtype queries, classes checked, …) after the command
-//! completes; both aggregate through a [`chc_obs::StatsRecorder`].
-//! `--trace-out <file>` writes the event-level timeline as Chrome
-//! trace-event JSON (open it in <https://ui.perfetto.dev> or
-//! `chrome://tracing`) and `--flame-out <file>` writes folded stacks for
-//! flamegraph tools; both capture through a [`chc_obs::TraceRecorder`]
-//! and compose freely with `--trace`/`--stats`. All reporting and
-//! flushing happens even when the command fails — a failing `check` is
-//! exactly the run whose trace you want.
+//! counter table (subtype queries, classes checked, …) on **stderr**
+//! after the command completes, so stdout stays machine-parseable
+//! (`chc lint --format json --stats | jq` works); both aggregate through
+//! a [`chc_obs::StatsRecorder`], and `--stats-out <file>` writes the
+//! same snapshot as line-delimited JSON. `--trace-out <file>` writes the
+//! event-level timeline as Chrome trace-event JSON (open it in
+//! <https://ui.perfetto.dev> or `chrome://tracing`) and `--flame-out
+//! <file>` writes folded stacks for flamegraph tools; both capture
+//! through a [`chc_obs::TraceRecorder`]. `--audit-out <file>` writes the
+//! structured audit ledger (one JSON line per executed run-time check,
+//! naming the admitting excuse for every tolerated deviation) through a
+//! bounded [`chc_obs::AuditRecorder`]. All sinks compose freely, and all
+//! reporting and flushing happens even when the command fails — a
+//! failing `check` is exactly the run whose trace you want.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use excuses::core::{check, virtualize, MissingPolicy, Semantics, ValidationOptions};
+use excuses::core::{
+    check, explain_admissibility, virtualize, MissingPolicy, Semantics, ValidationOptions,
+};
 use excuses::extent::{load_data, refresh_virtual_extents, validate_stored};
 use excuses::lint::{LintCode, LintConfig, LintLevel};
 use excuses::query::{compile as compile_query, parse_query, CheckMode};
 use excuses::sdl::{compile_with_source, print_schema};
-use excuses::types::{
-    cond_of, render_cond, render_tyset, EntityFacts, TypeContext,
-};
+use excuses::types::{cond_of, render_cond, render_tyset, EntityFacts, TypeContext};
 
 /// Global observability flags, accepted anywhere on the command line.
 #[derive(Default)]
@@ -47,6 +58,10 @@ struct Flags {
     stats: bool,
     trace_out: Option<String>,
     flame_out: Option<String>,
+    stats_out: Option<String>,
+    audit_out: Option<String>,
+    audit_summary: bool,
+    explain: bool,
 }
 
 fn main() -> ExitCode {
@@ -58,14 +73,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let stats_rec = (flags.trace || flags.stats).then(|| Arc::new(chc_obs::StatsRecorder::new()));
+    let stats_rec = (flags.trace || flags.stats || flags.stats_out.is_some())
+        .then(|| Arc::new(chc_obs::StatsRecorder::new()));
     let trace_rec = (flags.trace_out.is_some() || flags.flame_out.is_some())
         .then(|| Arc::new(chc_obs::TraceRecorder::new()));
+    let audit_rec = (flags.audit_out.is_some() || flags.audit_summary)
+        .then(|| Arc::new(chc_obs::AuditRecorder::new()));
     let mut sinks: Vec<Arc<dyn chc_obs::Recorder>> = Vec::new();
     if let Some(r) = &stats_rec {
         sinks.push(r.clone());
     }
     if let Some(r) = &trace_rec {
+        sinks.push(r.clone());
+    }
+    if let Some(r) = &audit_rec {
         sinks.push(r.clone());
     }
     let installed = !sinks.is_empty();
@@ -77,21 +98,27 @@ fn main() -> ExitCode {
         };
         chc_obs::set_global(recorder);
     }
-    let outcome = run(&args);
+    let outcome = run(&args, &flags);
     // Report and flush unconditionally: a failing command is exactly the
-    // run whose trace and counters matter most.
+    // run whose trace and counters matter most. Human-readable reports go
+    // to stderr so stdout stays machine-parseable under `--format json`.
     if installed {
         chc_obs::clear_global();
     }
+    let mut flush_err = None;
     if let Some(r) = &stats_rec {
         if flags.trace {
-            print!("{}", r.render_tree());
+            eprint!("{}", r.render_tree());
         }
         if flags.stats {
-            print!("{}", r.render_counters());
+            eprint!("{}", r.render_counters());
+        }
+        if let Some(path) = &flags.stats_out {
+            if let Err(e) = std::fs::write(path, r.to_json_lines()) {
+                flush_err = Some(format!("{path}: {e}"));
+            }
         }
     }
-    let mut flush_err = None;
     if let Some(r) = &trace_rec {
         if let Some(path) = &flags.trace_out {
             if let Err(e) = std::fs::write(path, r.to_chrome_trace()) {
@@ -102,6 +129,16 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(path, r.to_folded_stacks()) {
                 flush_err = Some(format!("{path}: {e}"));
             }
+        }
+    }
+    if let Some(r) = &audit_rec {
+        if let Some(path) = &flags.audit_out {
+            if let Err(e) = std::fs::write(path, r.to_json_lines()) {
+                flush_err = Some(format!("{path}: {e}"));
+            }
+        }
+        if flags.audit_summary {
+            print!("{}", render_audit_summary(r));
         }
     }
     let code = match outcome {
@@ -141,13 +178,21 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
         match arg.as_str() {
             "--trace" => flags.trace = true,
             "--stats" => flags.stats = true,
+            "--audit-summary" => flags.audit_summary = true,
+            "--explain" => flags.explain = true,
             "--trace-out" => flags.trace_out = Some(value_of("--trace-out", None)?),
             "--flame-out" => flags.flame_out = Some(value_of("--flame-out", None)?),
+            "--stats-out" => flags.stats_out = Some(value_of("--stats-out", None)?),
+            "--audit-out" => flags.audit_out = Some(value_of("--audit-out", None)?),
             other => {
                 if let Some(v) = other.strip_prefix("--trace-out=") {
                     flags.trace_out = Some(value_of("--trace-out", Some(v))?);
                 } else if let Some(v) = other.strip_prefix("--flame-out=") {
                     flags.flame_out = Some(value_of("--flame-out", Some(v))?);
+                } else if let Some(v) = other.strip_prefix("--stats-out=") {
+                    flags.stats_out = Some(value_of("--stats-out", Some(v))?);
+                } else if let Some(v) = other.strip_prefix("--audit-out=") {
+                    flags.audit_out = Some(value_of("--audit-out", Some(v))?);
                 } else {
                     rest.push(arg);
                 }
@@ -155,6 +200,63 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
         }
     }
     Ok((rest, flags))
+}
+
+/// Renders the `--audit-summary` table from the ledger: §6 asks for
+/// "statistics about exceptional cases", so admissions are grouped by
+/// the excuse that admitted them.
+fn render_audit_summary(rec: &chc_obs::AuditRecorder) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut checks = 0u64;
+    let mut passed = 0u64;
+    let mut violations = 0u64;
+    let mut admitted: BTreeMap<(String, String, String, String), u64> = BTreeMap::new();
+    for ev in rec.events() {
+        if ev.name != chc_obs::names::EVENT_VALIDATE_CHECK {
+            continue;
+        }
+        checks += 1;
+        let get = |k: &str| {
+            ev.get(k)
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        match ev.get("verdict").and_then(|v| v.as_str()) {
+            Some("pass") => passed += 1,
+            Some("excused") => {
+                *admitted
+                    .entry((
+                        get("excuser"),
+                        get("excuse_attr"),
+                        get("class"),
+                        get("attr"),
+                    ))
+                    .or_insert(0) += 1;
+            }
+            _ => violations += 1,
+        }
+    }
+    let admitted_total: u64 = admitted.values().sum();
+    let mut out = format!(
+        "audit: {checks} check(s) executed — {passed} passed, \
+         {admitted_total} admitted by excuse, {violations} violation(s)\n"
+    );
+    for ((excuser, excuse_attr, class, attr), n) in &admitted {
+        let _ = writeln!(
+            out,
+            "  `{excuser}.{excuse_attr}` excusing `{class}.{attr}`: {n}"
+        );
+    }
+    if rec.dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "  (ring full: {} older record(s) evicted; totals reflect retained events only)",
+            rec.dropped()
+        );
+    }
+    out
 }
 
 /// Parses `chc lint`'s own arguments: `--format text|json` and repeated
@@ -199,8 +301,8 @@ fn parse_lint_args(args: &[String]) -> Result<(LintConfig, bool), String> {
     Ok((config, json))
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] <check|lint|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
+fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] <check|lint|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -228,10 +330,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 return Ok(ExitCode::SUCCESS);
             }
             println!("{}", report.render(&schema));
+            if flags.explain {
+                // One derivation per diagnosed (class, attribute) site:
+                // the full argument for why the site is (in)coherent.
+                let mut seen = std::collections::BTreeSet::new();
+                for d in &report.diagnostics {
+                    if seen.insert((d.class, d.attr)) {
+                        println!(
+                            "{}",
+                            explain_admissibility(&schema, d.class, d.attr).render(&schema)
+                        );
+                    }
+                }
+            }
             let errors = report.errors().count();
             let warnings = report.warnings().count();
             println!("{errors} error(s), {warnings} warning(s)");
-            Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if report.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         "lint" => {
             let (config, json) = parse_lint_args(&args[2..])?;
@@ -241,9 +360,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             } else if report.findings.is_empty() {
                 println!("{path}: {} classes — no lints fired", schema.num_classes());
             } else {
-                println!("{}", excuses::lint::render_report(&report, &schema, Some(&src)));
+                println!(
+                    "{}",
+                    excuses::lint::render_report(&report, &schema, Some(&src))
+                );
             }
-            Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if report.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         "print" => {
             print!("{}", print_schema(&schema));
@@ -256,8 +382,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 return Ok(ExitCode::SUCCESS);
             }
             for info in &v.virtuals {
-                let path_str: Vec<&str> =
-                    info.path.iter().map(|p| v.schema.resolve(*p)).collect();
+                let path_str: Vec<&str> = info.path.iter().map(|p| v.schema.resolve(*p)).collect();
                 println!(
                     "virtual class {} is-a {} — extent = values of {} over {}",
                     v.schema.class_name(info.class),
@@ -270,12 +395,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!(
                 "virtualized schema: {} classes, {}",
                 v.schema.num_classes(),
-                if report.is_ok() { "clean" } else { "HAS ERRORS" }
+                if report.is_ok() {
+                    "clean"
+                } else {
+                    "HAS ERRORS"
+                }
             );
             if !report.is_ok() {
                 println!("{}", report.render(&v.schema));
             }
-            Ok(if report.is_ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if report.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         "explain" => {
             let class_name = args.get(2).ok_or("explain needs a class name")?;
@@ -288,7 +421,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let facts = EntityFacts::of_class(schema, class);
             let attrs: Vec<_> = match args.get(3) {
                 Some(a) => {
-                    vec![schema.sym(a).ok_or_else(|| format!("unknown attribute `{a}`"))?]
+                    vec![schema
+                        .sym(a)
+                        .ok_or_else(|| format!("unknown attribute `{a}`"))?]
                 }
                 None => schema.applicable_attrs(class).into_iter().collect(),
             };
@@ -313,11 +448,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         schema.resolve(attr),
                         render_tyset(schema, &ty)
                     ),
-                    None => println!(
-                        "  {}.{} : not applicable",
-                        class_name,
-                        schema.resolve(attr)
-                    ),
+                    None => println!("  {}.{} : not applicable", class_name, schema.resolve(attr)),
                 }
             }
             Ok(ExitCode::SUCCESS)
@@ -329,7 +460,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let query = parse_query(&v.schema, text).map_err(|e| e.to_string())?;
             match compile_query(&ctx, &query, CheckMode::Eliminate) {
                 Ok(plan) => {
-                    println!("static type : {}", render_tyset(&v.schema, &plan.static_type));
+                    println!(
+                        "static type : {}",
+                        render_tyset(&v.schema, &plan.static_type)
+                    );
                     println!("checks/row  : {}", plan.checks_per_row());
                     if plan.result_may_be_absent {
                         println!("warning     : the result may be absent for some database states");
@@ -366,18 +500,28 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let mut bad = 0usize;
             for (name, oid) in &data.names {
+                // Ledger join key: which surrogate belongs to which
+                // source-file name.
+                chc_obs::event_with(|| {
+                    chc_obs::Event::new(
+                        chc_obs::EventLevel::Info,
+                        chc_obs::names::EVENT_VALIDATE_OBJECT,
+                    )
+                    .field("name", name.as_str())
+                    .field("object", oid.raw())
+                });
                 let violations = validate_stored(&v.schema, &data.store, opts, *oid);
                 for viol in &violations {
                     println!("{name}: {}", viol.render(&v.schema));
                 }
                 bad += usize::from(!violations.is_empty());
             }
-            println!(
-                "{} object(s), {} invalid",
-                data.names.len(),
-                bad
-            );
-            Ok(if bad == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            println!("{} object(s), {} invalid", data.names.len(), bad);
+            Ok(if bad == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         other => Err(format!("unknown command `{other}`\n{usage}")),
     }

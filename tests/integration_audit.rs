@@ -1,0 +1,174 @@
+//! End-to-end tests of the audit ledger and decision provenance: the
+//! `--audit-out` JSONL ledger, the `--audit-summary` table (E11), and
+//! `chc check --explain` derivations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use chc_obs::json::JsonValue;
+
+fn chc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chc"))
+        .args(args)
+        .output()
+        .expect("chc runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("chc-audit-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn example(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/data")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn field<'a>(rec: &'a JsonValue, key: &str) -> Option<&'a str> {
+    rec.get(key).and_then(JsonValue::as_str)
+}
+
+#[test]
+fn ledger_has_one_record_per_executed_check() {
+    let audit_path = tmp("hospital.jsonl");
+    let stats_path = tmp("hospital-stats.json");
+    let out = chc(&[
+        "validate",
+        "--audit-out",
+        audit_path.to_str().unwrap(),
+        "--stats-out",
+        stats_path.to_str().unwrap(),
+        &example("hospital.sdl"),
+        &example("hospital.chd"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let ledger = chc_obs::json::parse_lines(&std::fs::read_to_string(&audit_path).unwrap())
+        .expect("ledger is valid JSONL");
+    let checks: Vec<&JsonValue> = ledger
+        .iter()
+        .filter(|r| field(r, "event") == Some("validate.check"))
+        .collect();
+
+    // The acceptance bar: ledger records == the checks-executed counter.
+    let stats = chc_obs::json::parse_lines(&std::fs::read_to_string(&stats_path).unwrap())
+        .expect("stats snapshot is valid JSONL");
+    let counter = stats
+        .iter()
+        .find(|r| field(r, "name") == Some("validate.checks"))
+        .and_then(|r| r.get("value"))
+        .and_then(JsonValue::as_f64)
+        .expect("validate.checks counter in stats");
+    assert_eq!(checks.len() as f64, counter, "ledger and counter disagree");
+    assert!(!checks.is_empty());
+
+    // Every record carries the full provenance tuple, and every admitted
+    // deviation names its excuse.
+    for rec in &checks {
+        assert!(
+            rec.get("object").and_then(JsonValue::as_f64).is_some(),
+            "{rec:?}"
+        );
+        for key in ["class", "attr", "value", "verdict"] {
+            assert!(field(rec, key).is_some(), "missing `{key}` in {rec:?}");
+        }
+        if field(rec, "verdict") == Some("excused") {
+            assert!(field(rec, "excuser").is_some(), "{rec:?}");
+            assert!(field(rec, "excuse_attr").is_some(), "{rec:?}");
+        }
+    }
+    assert!(
+        checks
+            .iter()
+            .any(|r| field(r, "verdict") == Some("excused")),
+        "hospital data exercises at least one excuse"
+    );
+
+    // The name→surrogate join events are interleaved, one per object.
+    let objects = ledger
+        .iter()
+        .filter(|r| field(r, "event") == Some("validate.object"))
+        .count();
+    assert_eq!(objects, 9, "one validate.object per named hospital object");
+}
+
+#[test]
+fn audit_summary_groups_admissions_by_excuse() {
+    let out = chc(&[
+        "validate",
+        "--audit-summary",
+        &example("quaker.sdl"),
+        &example("quaker.chd"),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The Nixon diamond exercises both directions of the mutual excuse.
+    assert!(stdout.contains("2 admitted by excuse"), "{stdout}");
+    assert!(
+        stdout.contains("`Quaker.opinion` excusing `Republican.opinion`: 1"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("`Republican.opinion` excusing `Quaker.opinion`: 1"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn failing_validation_still_flushes_the_ledger() {
+    let dir = std::env::temp_dir().join("chc-audit-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.chd");
+    // frank the Quaker has a Hawk opinion and is *not* a Republican, so
+    // no excuse admits him.
+    std::fs::write(&bad, "frank : Quaker { opinion = 'Hawk }\n").unwrap();
+    let audit_path = tmp("failing.jsonl");
+    let out = chc(&[
+        "validate",
+        "--audit-out",
+        audit_path.to_str().unwrap(),
+        &example("quaker.sdl"),
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "frank is invalid");
+    let ledger = chc_obs::json::parse_lines(&std::fs::read_to_string(&audit_path).unwrap())
+        .expect("ledger flushed despite failure");
+    let violation = ledger
+        .iter()
+        .find(|r| field(r, "verdict") == Some("violation"))
+        .expect("the violating check is in the ledger");
+    assert_eq!(field(violation, "class"), Some("Quaker"));
+    assert_eq!(field(violation, "attr"), Some("opinion"));
+    assert_eq!(field(violation, "value"), Some("'Hawk"));
+}
+
+#[test]
+fn check_explain_names_the_conflicting_constraints() {
+    let fixture =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("crates/lint/tests/fixtures/L001_fires.sdl");
+    let out = chc(&["check", "--explain", fixture.to_str().unwrap()]);
+    assert!(!out.status.success(), "the fixture is incoherent");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The derivation names both source classes of the clash and renders
+    // the unsatisfiability verdict.
+    assert!(
+        stdout.contains("derivation for `Member.opinion`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("`Dove_Keeper`"), "{stdout}");
+    assert!(stdout.contains("`Hawk_Club`"), "{stdout}");
+    assert!(stdout.contains("unsatisfiable"), "{stdout}");
+
+    // Without the flag, no derivation is printed.
+    let out = chc(&["check", fixture.to_str().unwrap()]);
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("derivation for"));
+}

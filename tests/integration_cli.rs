@@ -37,7 +37,11 @@ class Alcoholic is-a Patient with treatedBy: Psychologist;
 fn check_clean_schema_exits_zero() {
     let path = write_schema("clean.sdl", CLEAN);
     let out = chc(&["check", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
 }
 
@@ -162,35 +166,44 @@ fn validate_loads_data_and_judges_it() {
 fn check_with_stats_prints_nonzero_counters() {
     let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
     let out = chc(&["check", "--stats", schema.to_str().unwrap()]);
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "{stdout}");
+    assert!(out.status.success());
+    // Reports go to stderr; stdout stays the command's own output.
+    let stderr = String::from_utf8_lossy(&out.stderr);
     let counter = |name: &str| -> u64 {
-        stdout
+        stderr
             .lines()
             .find(|l| l.trim_start().starts_with(name))
-            .unwrap_or_else(|| panic!("no `{name}` row in:\n{stdout}"))
+            .unwrap_or_else(|| panic!("no `{name}` row in:\n{stderr}"))
             .split_whitespace()
             .last()
             .unwrap()
             .parse()
             .unwrap()
     };
-    assert!(counter("subtype.queries") > 0, "{stdout}");
-    assert!(counter("check.classes") > 0, "{stdout}");
+    assert!(counter("subtype.queries") > 0, "{stderr}");
+    assert!(counter("check.classes") > 0, "{stderr}");
 }
 
 #[test]
 fn validate_with_trace_prints_span_tree() {
     let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
     let data = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.chd");
-    let out = chc(&["validate", "--trace", schema.to_str().unwrap(), data.to_str().unwrap()]);
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "{stdout}");
-    // The span tree names the command phases, with timings.
-    assert!(stdout.contains("cli.compile"), "{stdout}");
-    assert!(stdout.contains("cli.validate"), "{stdout}");
-    assert!(stdout.contains("check.schema"), "{stdout}");
-    assert!(stdout.contains("us") || stdout.contains("ms") || stdout.contains("ns"), "{stdout}");
+    let out = chc(&[
+        "validate",
+        "--trace",
+        schema.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    // The span tree names the command phases, with timings, on stderr.
+    assert!(stderr.contains("cli.compile"), "{stderr}");
+    assert!(stderr.contains("cli.validate"), "{stderr}");
+    assert!(stderr.contains("check.schema"), "{stderr}");
+    assert!(
+        stderr.contains("us") || stderr.contains("ms") || stderr.contains("ns"),
+        "{stderr}"
+    );
 }
 
 #[test]
@@ -203,7 +216,8 @@ fn global_flags_accepted_before_and_after_subcommand() {
     let after = chc(&["check", "--stats", p]);
     assert!(before.status.success() && after.status.success());
     assert_eq!(before.stdout, after.stdout);
-    assert!(String::from_utf8_lossy(&after.stdout).contains("check.classes"));
+    assert_eq!(before.stderr, after.stderr);
+    assert!(String::from_utf8_lossy(&after.stderr).contains("check.classes"));
 
     let out_dir = std::env::temp_dir().join("chc-cli-tests");
     let t1 = out_dir.join("order1.json");
@@ -224,14 +238,44 @@ fn global_flags_accepted_before_and_after_subcommand() {
 fn flags_can_appear_anywhere_and_compose() {
     let path = write_schema("flags.sdl", CLEAN);
     let out = chc(&["--trace", "check", "--stats", path.to_str().unwrap()]);
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "{stdout}");
-    assert!(stdout.contains("cli.check"), "{stdout}");
-    assert!(stdout.contains("check.classes"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("cli.check"), "{stderr}");
+    assert!(stderr.contains("check.classes"), "{stderr}");
 
     // Without the flags, no observability output sneaks in.
     let out = chc(&["check", path.to_str().unwrap()]);
+    let all = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!all.contains("cli.check"), "{all}");
+    assert!(!all.contains("check.classes"), "{all}");
+}
+
+#[test]
+fn stats_report_keeps_json_stdout_machine_parseable() {
+    // The whole point of stderr routing: `chc lint --format json --stats`
+    // must emit a single JSON document on stdout, nothing else.
+    let path = write_schema("pure.sdl", CLEAN);
+    let out = chc(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--stats",
+        "--trace",
+    ]);
+    assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(!stdout.contains("cli.check"), "{stdout}");
-    assert!(!stdout.contains("check.classes"), "{stdout}");
+    let parsed = chc_obs::json::parse(&stdout).expect("stdout is pure JSON");
+    assert_eq!(
+        parsed.get("tool").and_then(|v| v.as_str()),
+        Some("chc-lint")
+    );
+    // …while the reports still arrive, on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cli.lint"), "{stderr}");
+    assert!(stderr.contains("lint.classes"), "{stderr}");
 }

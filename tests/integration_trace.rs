@@ -23,8 +23,14 @@ fn tmp(name: &str) -> PathBuf {
 fn hospital() -> (String, String) {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     (
-        root.join("examples/data/hospital.sdl").to_str().unwrap().to_string(),
-        root.join("examples/data/hospital.chd").to_str().unwrap().to_string(),
+        root.join("examples/data/hospital.sdl")
+            .to_str()
+            .unwrap()
+            .to_string(),
+        root.join("examples/data/hospital.chd")
+            .to_str()
+            .unwrap()
+            .to_string(),
     )
 }
 
@@ -49,8 +55,18 @@ fn span_events(doc: &JsonValue) -> Vec<(String, String)> {
 fn trace_out_is_valid_chrome_trace_json() {
     let (sdl, chd) = hospital();
     let out_path = tmp("validate.json");
-    let out = chc(&["validate", "--trace-out", out_path.to_str().unwrap(), &sdl, &chd]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let out = chc(&[
+        "validate",
+        "--trace-out",
+        out_path.to_str().unwrap(),
+        &sdl,
+        &chd,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let text = std::fs::read_to_string(&out_path).unwrap();
     // Round-trips through the in-tree JSON parser...
     let doc = chc_obs::json::parse(&text).expect("trace-out parses");
@@ -66,7 +82,10 @@ fn trace_out_is_valid_chrome_trace_json() {
         if ev.get("ph").and_then(JsonValue::as_str) != Some("M") {
             assert!(ev.get("ts").and_then(JsonValue::as_f64).is_some(), "{ev:?}");
         }
-        assert!(ev.get("pid").and_then(JsonValue::as_f64).is_some(), "{ev:?}");
+        assert!(
+            ev.get("pid").and_then(JsonValue::as_f64).is_some(),
+            "{ev:?}"
+        );
     }
     // ...and the B/E stream is well nested (a valid Perfetto timeline).
     let mut stack = Vec::new();
@@ -92,11 +111,15 @@ fn trace_out_nesting_matches_the_aggregated_span_tree() {
         &sdl,
         &chd,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    // Reconstruct (depth, name) from the rendered tree: two spaces of
-    // indent per level, name is the first token.
-    let tree: Vec<(usize, String)> = stdout
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The rendered tree goes to stderr. Reconstruct (depth, name) from
+    // it: two spaces of indent per level, name is the first token.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let tree: Vec<(usize, String)> = stderr
         .lines()
         .filter(|l| {
             let name = l.split_whitespace().next().unwrap_or("");
@@ -107,7 +130,7 @@ fn trace_out_nesting_matches_the_aggregated_span_tree() {
             (indent / 2, l.split_whitespace().next().unwrap().to_string())
         })
         .collect();
-    assert!(!tree.is_empty(), "{stdout}");
+    assert!(!tree.is_empty(), "{stderr}");
     // Reconstruct the same (depth, name) sequence from B events.
     let text = std::fs::read_to_string(&out_path).unwrap();
     let doc = chc_obs::json::parse(&text).unwrap();
@@ -132,7 +155,13 @@ fn trace_out_nesting_matches_the_aggregated_span_tree() {
 fn flame_out_is_valid_folded_stacks() {
     let (sdl, chd) = hospital();
     let out_path = tmp("validate.folded");
-    let out = chc(&["--flame-out", out_path.to_str().unwrap(), "validate", &sdl, &chd]);
+    let out = chc(&[
+        "--flame-out",
+        out_path.to_str().unwrap(),
+        "validate",
+        &sdl,
+        &chd,
+    ]);
     assert!(out.status.success());
     let text = std::fs::read_to_string(&out_path).unwrap();
     let mut saw_nested = false;
@@ -144,7 +173,8 @@ fn flame_out_is_valid_folded_stacks() {
     }
     assert!(saw_nested, "no nested stack in:\n{text}");
     assert!(
-        text.lines().any(|l| l.starts_with("cli.validate;check.schema ")),
+        text.lines()
+            .any(|l| l.starts_with("cli.validate;check.schema ")),
         "{text}"
     );
 }
@@ -177,10 +207,10 @@ fn failing_command_still_reports_and_flushes() {
         schema.to_str().unwrap(),
     ]);
     assert!(!out.status.success(), "the schema is broken");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    // The span tree and counter table still print...
-    assert!(stdout.contains("cli.check"), "{stdout}");
-    assert!(stdout.contains("check.classes"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The span tree and counter table still print (to stderr)...
+    assert!(stderr.contains("cli.check"), "{stderr}");
+    assert!(stderr.contains("check.classes"), "{stderr}");
     // ...and both trace files still flush, with the check span present.
     let doc = chc_obs::json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
     assert!(
@@ -195,7 +225,12 @@ fn failing_command_still_reports_and_flushes() {
     let bad = dir.join("syntax.sdl");
     std::fs::write(&bad, "class A with x 1..2").unwrap();
     let out_path2 = tmp("syntax.json");
-    let out = chc(&["check", "--trace-out", out_path2.to_str().unwrap(), bad.to_str().unwrap()]);
+    let out = chc(&[
+        "check",
+        "--trace-out",
+        out_path2.to_str().unwrap(),
+        bad.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(2));
     let doc = chc_obs::json::parse(&std::fs::read_to_string(&out_path2).unwrap()).unwrap();
     let events = span_events(&doc);
