@@ -74,6 +74,9 @@ fn main() {
     if want("E10") {
         e10();
     }
+    if want("E12") {
+        e12();
+    }
     if want("A1") {
         a1();
     }
@@ -561,6 +564,56 @@ fn e9() {
     println!("|---:|---:|---:|---:|");
     println!("| {runs} | {total_cases} | {mismatches} | {unsound} |");
     println!("\nZero in both failure columns = the deductive attr-type computation is complete under total knowledge and sound under partial knowledge.\n");
+}
+
+/// The Q001 lint's honesty check: its static verdict for each E4 query
+/// against the failures an unchecked execution actually hits, per ε.
+fn e12() {
+    use chc_lint::{run_queries, LintCode, LintConfig};
+    use chc_query::parse_query_spanned;
+    println!("## E12 — static Q001 predictions vs. measured unchecked failures\n");
+    println!("Each query is analyzed statically (`chc lint --query`) and then run with every check stripped (`CheckMode::Never`) over 10 000 patients.\n");
+    println!("| ε (exceptional) | query | Q001 | exceptional rows | unchecked failures @ never | parity |");
+    println!("|---:|---|---:|---:|---:|---|");
+    let queries = [
+        ("city (safe)", "for p in Patient emit p.treatedAt.location.city"),
+        ("state (hazardous)", "for p in Patient emit p.treatedAt.location.state"),
+        (
+            "state, guarded",
+            "for p in Patient where p not in Tubercular_Patient emit p.treatedAt.location.state",
+        ),
+    ];
+    for &eps in &EPSILONS {
+        let db = build_hospital(&HospitalParams {
+            patients: 10_000,
+            tubercular_fraction: eps,
+            alcoholic_fraction: 0.0,
+            ambulatory_fraction: 0.0,
+            ..Default::default()
+        });
+        let v = &db.virtualized;
+        let ctx = TypeContext::with_virtuals(v);
+        for (label, text) in queries {
+            let sq = parse_query_spanned(&v.schema, text).unwrap();
+            let report = run_queries(v, std::slice::from_ref(&sq), None, &LintConfig::new());
+            let flagged = report.count(LintCode::UnsafePath);
+            let plan = compile_query(&ctx, &sq.query, CheckMode::Never).unwrap();
+            let failures = execute(&v.schema, &db.store, &plan).stats.unchecked_failures;
+            let exceptional = db.store.count(db.ids.tubercular);
+            // The static verdict quantifies over all legal database
+            // states; parity holds whenever some exceptional row exists.
+            let parity = if (flagged > 0) == (failures > 0) || exceptional == 0 {
+                "ok"
+            } else {
+                "MISMATCH"
+            };
+            assert_ne!(parity, "MISMATCH", "{text} at eps={eps}");
+            println!(
+                "| {eps:.2} | {label} | {flagged} | {exceptional} | {failures} | {parity} |"
+            );
+        }
+    }
+    println!("\nEvery hazardous query fails exactly once per exceptional row the moment checks are stripped; every certified-safe query never fails. At ε = 0 the flag stays up with zero dynamic failures — the analysis quantifies over all legal database states, not the one currently loaded.\n");
 }
 
 /// Ablation: how much membership knowledge does type-guided fragment

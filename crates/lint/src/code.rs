@@ -28,17 +28,40 @@ pub enum LintCode {
     /// L006: a class that is never referenced (as a superclass, range,
     /// or excuse target) and declares no attributes of its own.
     UnusedClass,
+    /// Q001: a projection step of a query can hit a class or branch where
+    /// the attribute is excused or absent — §5.4's "the query/program may
+    /// result in a run-time failure for certain database states". Also
+    /// covers the definite type errors the planner would reject outright.
+    UnsafePath,
+    /// Q002: a `not in C` filter that excludes no possible member of the
+    /// source extent — the guard is dead weight.
+    DeadGuard,
+    /// Q003: the scanned class is L001-incoherent (it can have no
+    /// instances), so the query is vacuous by construction.
+    EmptySource,
+    /// Q004: info-level — a run-time check the compiler eliminated, with
+    /// the derivation of why no type error can occur there.
+    DischargedCheck,
+    /// Q005: info-level — a minimal `p not in C` guard set that would
+    /// restore type safety, synthesized by case analysis over the §4.2
+    /// conditional-type alternatives.
+    GuardSuggestion,
 }
 
 impl LintCode {
     /// Every lint, in code order.
-    pub const ALL: [LintCode; 6] = [
+    pub const ALL: [LintCode; 11] = [
         LintCode::IncoherentClass,
         LintCode::DeadExcuse,
         LintCode::UnreachableBranch,
         LintCode::RedundantIsA,
         LintCode::NoopRedefinition,
         LintCode::UnusedClass,
+        LintCode::UnsafePath,
+        LintCode::DeadGuard,
+        LintCode::EmptySource,
+        LintCode::DischargedCheck,
+        LintCode::GuardSuggestion,
     ];
 
     /// The stable `L00x` code.
@@ -50,7 +73,25 @@ impl LintCode {
             LintCode::RedundantIsA => "L004",
             LintCode::NoopRedefinition => "L005",
             LintCode::UnusedClass => "L006",
+            LintCode::UnsafePath => "Q001",
+            LintCode::DeadGuard => "Q002",
+            LintCode::EmptySource => "Q003",
+            LintCode::DischargedCheck => "Q004",
+            LintCode::GuardSuggestion => "Q005",
         }
+    }
+
+    /// Whether this lint analyzes queries (`Q...`) rather than the schema
+    /// itself (`L...`).
+    pub fn is_query(self) -> bool {
+        matches!(
+            self,
+            LintCode::UnsafePath
+                | LintCode::DeadGuard
+                | LintCode::EmptySource
+                | LintCode::DischargedCheck
+                | LintCode::GuardSuggestion
+        )
     }
 
     /// The kebab-case name.
@@ -62,6 +103,11 @@ impl LintCode {
             LintCode::RedundantIsA => "redundant-is-a",
             LintCode::NoopRedefinition => "noop-redefinition",
             LintCode::UnusedClass => "unused-class",
+            LintCode::UnsafePath => "unsafe-path",
+            LintCode::DeadGuard => "dead-guard",
+            LintCode::EmptySource => "empty-source",
+            LintCode::DischargedCheck => "discharged-check",
+            LintCode::GuardSuggestion => "guard-suggestion",
         }
     }
 
@@ -85,6 +131,21 @@ impl LintCode {
             }
             LintCode::UnusedClass => {
                 "class never referenced anywhere and declaring no attributes"
+            }
+            LintCode::UnsafePath => {
+                "query path can hit an excused or absent attribute at run time"
+            }
+            LintCode::DeadGuard => {
+                "`not in C` filter that excludes no possible member of the source"
+            }
+            LintCode::EmptySource => {
+                "scanned class is incoherent, so the query is vacuous"
+            }
+            LintCode::DischargedCheck => {
+                "run-time check eliminated by the compiler, with its derivation"
+            }
+            LintCode::GuardSuggestion => {
+                "minimal `not in C` guard set that would restore type safety"
             }
         }
     }

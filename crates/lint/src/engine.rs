@@ -1,8 +1,10 @@
 //! The lint driver: runs every registered lint, applies severity
 //! configuration, and packages the findings.
 
+use chc_core::Virtualized;
 use chc_model::Schema;
 use chc_obs::json::JsonValue;
+use chc_query::SpannedQuery;
 
 use crate::config::{LintConfig, LintLevel};
 use crate::finding::Finding;
@@ -49,15 +51,121 @@ pub fn run(schema: &Schema, config: &LintConfig) -> LintReport {
     });
     chc_obs::counter(chc_obs::names::LINT_FIRED, findings.len() as u64);
 
-    findings.sort_by_key(|f| {
-        (
-            f.span.is_none(),
-            f.span.map(|s| (s.line, s.col)).unwrap_or((0, 0)),
-            f.class,
-            f.code,
-        )
-    });
+    sort_findings(&mut findings);
     LintReport { findings }
+}
+
+/// Runs the query safety analyzer (Q001–Q005) over a parsed `.chq` batch
+/// against a virtualized schema, filtered by `config`. `file` names the
+/// batch in locations and the JSON report (`<query>` for ad-hoc strings).
+///
+/// A query preceded by a `-- expect: Q001 …` directive inverts the
+/// severity contract for the named codes: findings that do fire are
+/// downgraded to info (so known-hazardous showcase queries pass a
+/// `--deny warnings` sweep), and an expected code that does *not* fire
+/// becomes a deny-level finding — the fixture has gone stale.
+pub fn run_queries(
+    v: &Virtualized,
+    queries: &[SpannedQuery],
+    file: Option<&str>,
+    config: &LintConfig,
+) -> LintReport {
+    let _span = chc_obs::span(chc_obs::names::SPAN_LINT_QUERY);
+    let file = file.unwrap_or("<query>");
+    let mut findings = Vec::new();
+    lints::query::run(v, queries, file, &mut findings);
+
+    let mut fired: Vec<Vec<LintCode>> = vec![Vec::new(); queries.len()];
+    for f in &findings {
+        if let Some(qi) = f.query {
+            fired[qi].push(f.code);
+        }
+    }
+    let expects_code = |qi: Option<usize>, code: LintCode| {
+        qi.is_some_and(|qi| {
+            queries[qi]
+                .expect
+                .iter()
+                .any(|e| e.eq_ignore_ascii_case(code.code()) || e == code.name())
+        })
+    };
+    findings.retain_mut(|f| {
+        if expects_code(f.query, f.code) {
+            f.level = LintLevel::Info;
+            f.message.push_str(" (expected)");
+            true
+        } else {
+            match config.level(f.code) {
+                LintLevel::Allow => false,
+                level => {
+                    f.level = level;
+                    true
+                }
+            }
+        }
+    });
+    for (qi, sq) in queries.iter().enumerate() {
+        for exp in &sq.expect {
+            let met = fired[qi].iter().any(|c| {
+                exp.eq_ignore_ascii_case(c.code()) || exp == c.name()
+            });
+            if !met {
+                findings.push(Finding {
+                    code: LintCode::parse(exp).unwrap_or(LintCode::UnsafePath),
+                    level: LintLevel::Deny,
+                    class: sq.query.class,
+                    attr: None,
+                    span: Some(sq.span),
+                    file: Some(file.to_string()),
+                    query: Some(qi),
+                    message: format!(
+                        "expected {exp} to fire on this query, but it did not"
+                    ),
+                    derivation: None,
+                });
+            }
+        }
+    }
+    chc_obs::counter(chc_obs::names::LINT_FIRED, findings.len() as u64);
+
+    sort_findings(&mut findings);
+    LintReport { findings }
+}
+
+/// Runs the schema lints and the query safety analyzer in one report.
+/// Schema lints run over the original `schema` (virtual classes would
+/// only produce cascade noise); query analysis needs the virtualized
+/// view. Render the result against `v.schema` — original class ids are
+/// preserved by virtualization and the source map is carried over.
+pub fn run_with_queries(
+    schema: &Schema,
+    v: &Virtualized,
+    queries: &[SpannedQuery],
+    file: Option<&str>,
+    config: &LintConfig,
+) -> LintReport {
+    let mut findings = run(schema, config).findings;
+    findings.extend(run_queries(v, queries, file, config).findings);
+    LintReport { findings }
+}
+
+/// Source order within each input: spanned findings first (by position),
+/// then span-less ones by class and code; schema findings (no file)
+/// before query findings.
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        let key = |f: &Finding| {
+            (
+                f.file.clone(),
+                f.query,
+                f.span.is_none(),
+                f.span.map(|s| (s.line, s.col)).unwrap_or((0, 0)),
+                f.class,
+                f.code,
+            )
+        };
+        key(a).cmp(&key(b))
+    });
 }
 
 impl LintReport {
@@ -74,6 +182,11 @@ impl LintReport {
     /// The warn-level findings.
     pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
         self.findings.iter().filter(|f| f.level == LintLevel::Warn)
+    }
+
+    /// The info-level findings (advisory notes; never fail the run).
+    pub fn infos(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.level == LintLevel::Info)
     }
 
     /// How many findings carry each code, over [`LintCode::ALL`].
@@ -101,6 +214,7 @@ impl LintReport {
                 ("total", JsonValue::number(self.findings.len() as f64)),
                 ("warn", JsonValue::number(self.warnings().count() as f64)),
                 ("deny", JsonValue::number(self.denied().count() as f64)),
+                ("info", JsonValue::number(self.infos().count() as f64)),
             ]),
         ));
         JsonValue::object(fields)

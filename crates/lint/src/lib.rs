@@ -16,11 +16,26 @@
 //! | L005 | `noop-redefinition` | redeclaration equal to an inherited range, no excuses |
 //! | L006 | `unused-class` | class referenced nowhere, declaring nothing |
 //!
+//! A second family analyzes *queries* (`.chq` batches or ad-hoc strings)
+//! against a virtualized schema — §5.4's static safety analysis lifted
+//! into the lint framework:
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | Q001 | `unsafe-path` | projection step can hit an excused/absent attribute |
+//! | Q002 | `dead-guard` | `not in C` filter that excludes nothing |
+//! | Q003 | `empty-source` | scanned class incoherent or guards contradictory |
+//! | Q004 | `discharged-check` | check eliminated by the compiler (info, with derivation) |
+//! | Q005 | `guard-suggestion` | minimal guard set restoring type safety (info) |
+//!
 //! Each lint is catalogued with SDL examples in `docs/LINTS.md`. Entry
-//! point: [`run`] with a [`LintConfig`] (per-code allow/warn/deny plus
-//! `deny_warnings`); render the [`LintReport`] with [`render_report`]
+//! points: [`run`] over a schema, [`run_queries`] over parsed queries,
+//! [`run_with_queries`] for both in one report, all with a [`LintConfig`]
+//! (per-code allow/warn/deny plus `deny_warnings`); render the
+//! [`LintReport`] with [`render_report`] / [`render_report_sources`]
 //! (rustc-style text quoting the offending line) or
-//! [`LintReport::to_json`] (round-trippable through `chc_obs::json`).
+//! [`LintReport::to_json`] (round-trippable through `chc_obs::json`,
+//! with a `kind` field distinguishing schema and query findings).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +50,6 @@ pub mod render;
 
 pub use code::LintCode;
 pub use config::{LintConfig, LintLevel};
-pub use engine::{run, LintReport};
+pub use engine::{run, run_queries, run_with_queries, LintReport};
 pub use finding::Finding;
-pub use render::{render_finding, render_report};
+pub use render::{render_finding, render_report, render_report_sources};

@@ -55,6 +55,8 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                     level: LintLevel::Warn,
                     class,
                     attr: Some(exc.attr),
+                    file: None,
+                    query: None,
                     span: schema
                         .source_map()
                         .excuse_span(class, exc.attr, exc.on)

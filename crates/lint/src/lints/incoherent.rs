@@ -32,6 +32,8 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
             level: LintLevel::Warn,
             class,
             attr: Some(attr),
+            file: None,
+            query: None,
             span: schema.source_map().site_span(class, Some(attr)),
             message: format!(
                 "class `{}` is incoherent: no value can satisfy all constraints on `{}`, \

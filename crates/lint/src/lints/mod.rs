@@ -3,6 +3,7 @@
 pub(crate) mod dead_excuse;
 pub(crate) mod incoherent;
 pub(crate) mod noop_redef;
+pub(crate) mod query;
 pub(crate) mod redundant_isa;
 pub(crate) mod unreachable;
 pub(crate) mod unused;

@@ -31,6 +31,8 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                 level: LintLevel::Warn,
                 class,
                 attr: Some(decl.name),
+                file: None,
+                query: None,
                 span: schema.source_map().site_span(class, Some(decl.name)),
                 message: format!(
                     "`{class}.{attr}` re-declares the exact range inherited from `{from}` \

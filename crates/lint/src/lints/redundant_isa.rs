@@ -26,6 +26,8 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                 level: LintLevel::Warn,
                 class,
                 attr: None,
+                file: None,
+                query: None,
                 span: schema
                     .source_map()
                     .super_span(class, sup)

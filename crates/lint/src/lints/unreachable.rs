@@ -46,6 +46,8 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
                     level: LintLevel::Warn,
                     class: entry.excuser,
                     attr: Some(decl.name),
+                    file: None,
+                    query: None,
                     span: schema
                         .source_map()
                         .excuse_span(entry.excuser, decl.name, host)

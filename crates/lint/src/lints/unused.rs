@@ -36,6 +36,8 @@ pub(crate) fn run(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
             level: LintLevel::Warn,
             class,
             attr: None,
+            file: None,
+            query: None,
             span: schema.source_map().class_span(class),
             message: format!(
                 "class `{}` is never referenced as a superclass, range, or excuse target, \

@@ -8,6 +8,10 @@
 //!  4 | class QR is-a Quaker, Person;
 //!    |                       ^
 //! ```
+//!
+//! Query findings (`Q...`) point into the `.chq` file instead of the
+//! schema; [`render_report_sources`] takes both texts and quotes the
+//! right one per finding.
 
 use chc_model::Schema;
 
@@ -15,22 +19,23 @@ use crate::config::LintLevel;
 use crate::engine::LintReport;
 use crate::finding::Finding;
 
-/// Renders one finding. `src` is the SDL text the schema was compiled
-/// from, used to quote the offending line; without it (or without a
-/// span) only the headline and location are printed.
+/// Renders one finding. `src` is the text the finding's span points into
+/// (the SDL source for schema findings, the query text for Q findings),
+/// used to quote the offending line; without it (or without a span) only
+/// the headline and location are printed.
 pub fn render_finding(finding: &Finding, schema: &Schema, src: Option<&str>) -> String {
     let level = match finding.level {
         LintLevel::Deny => "error",
+        LintLevel::Info => "info",
         _ => "warning",
     };
     let mut out = format!("{level}[{}]: {}", finding.code.code(), finding.message);
     let Some(span) = finding.span else {
         return out;
     };
-    out.push_str(&format!(
-        "\n  --> {}",
-        schema.source_map().locate(span)
-    ));
+    if let Some(loc) = finding.location(schema) {
+        out.push_str(&format!("\n  --> {loc}"));
+    }
     let quoted = src.and_then(|s| s.lines().nth(span.line as usize - 1));
     if let Some(line) = quoted {
         let gutter = span.line.to_string().len().max(2);
@@ -44,25 +49,43 @@ pub fn render_finding(finding: &Finding, schema: &Schema, src: Option<&str>) -> 
     out
 }
 
-/// Renders a whole report: every finding separated by blank lines, then
-/// a one-line summary. The empty report renders as the empty string.
+/// Renders a whole report against a single source text (schema-only
+/// runs). The empty report renders as the empty string.
 pub fn render_report(report: &LintReport, schema: &Schema, src: Option<&str>) -> String {
+    render_report_sources(report, schema, src, None)
+}
+
+/// Renders a mixed report: schema findings quote `schema_src`, query
+/// findings (those carrying a file) quote `query_src`.
+pub fn render_report_sources(
+    report: &LintReport,
+    schema: &Schema,
+    schema_src: Option<&str>,
+    query_src: Option<&str>,
+) -> String {
     if report.findings.is_empty() {
         return String::new();
     }
     let mut blocks: Vec<String> = report
         .findings
         .iter()
-        .map(|f| render_finding(f, schema, src))
+        .map(|f| {
+            let src = if f.file.is_some() { query_src } else { schema_src };
+            render_finding(f, schema, src)
+        })
         .collect();
     let denied = report.denied().count();
     let warned = report.warnings().count();
+    let noted = report.infos().count();
     let mut summary = Vec::new();
     if denied > 0 {
         summary.push(format!("{denied} error{}", plural(denied)));
     }
     if warned > 0 {
         summary.push(format!("{warned} warning{}", plural(warned)));
+    }
+    if noted > 0 {
+        summary.push(format!("{noted} note{}", plural(noted)));
     }
     blocks.push(format!("lint: {} emitted", summary.join(", ")));
     blocks.join("\n\n")

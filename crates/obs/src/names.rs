@@ -107,6 +107,12 @@ pub const SPAN_LINT_RUN: &str = "lint.run";
 pub const LINT_FIRED: &str = "lint.fired";
 /// Classes visited by the lint pass.
 pub const LINT_CLASSES: &str = "lint.classes";
+/// Span: one `chc_lint::run_queries` pass over a `.chq` batch.
+pub const SPAN_LINT_QUERY: &str = "lint.query";
+/// Residual hazards found by the query safety analyzer (Q001 inputs).
+pub const LINT_HAZARDS: &str = "lint.hazards";
+/// Guard sets successfully synthesized by Q005.
+pub const LINT_GUARDS_SYNTHESIZED: &str = "lint.guards_synthesized";
 
 // --- chc CLI ---
 
@@ -118,5 +124,7 @@ pub const SPAN_CLI_VALIDATE: &str = "cli.validate";
 pub const SPAN_CLI_ANALYZE: &str = "cli.analyze";
 /// Span: the `lint` command.
 pub const SPAN_CLI_LINT: &str = "cli.lint";
+/// Span: the `query` command (plan + execute over loaded data).
+pub const SPAN_CLI_QUERY: &str = "cli.query";
 /// Span: parsing + compiling the input schema.
 pub const SPAN_CLI_COMPILE: &str = "cli.compile";

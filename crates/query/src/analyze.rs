@@ -1,0 +1,412 @@
+//! Per-step query safety analysis and §4.2-style guard synthesis.
+//!
+//! [`compile`](crate::plan::compile) answers "where must checks go?";
+//! this module answers the static-analysis questions behind the Q-coded
+//! lints: *which* step is hazardous (with its source span), what the
+//! incoming conditional type at each step is, why a check could be
+//! discharged, and — for Q005 — which `p not in C` guard set would
+//! restore type safety outright, found by case analysis over the
+//! conditional-type alternatives the way §4.2 splits `[p : T0 + T1/E1]`
+//! into its branches.
+//!
+//! The analysis never rejects a query: definite type errors are reported
+//! in [`QuerySafety::error`] alongside whatever per-step information was
+//! established, so a linter can render them with positions instead of
+//! bailing out the way the planner does.
+
+use chc_model::{ClassId, Schema, Span, Sym};
+use chc_types::{analyze_path, analyze_path_from, Atom, EntityFacts, Hazard, TypeContext, TySet};
+
+use crate::ast::{Pred, Query};
+use crate::parse::SpannedQuery;
+use crate::plan::TypeError;
+
+/// What the analysis learned about one projection step.
+#[derive(Debug, Clone)]
+pub struct StepSafety {
+    /// The attribute fetched at this step.
+    pub attr: Sym,
+    /// Source position of the attribute name, when parsed from text.
+    pub span: Option<Span>,
+    /// The conditional type flowing *into* this step.
+    pub incoming: TySet,
+    /// Hazards whose run-time check belongs at this step (an absent
+    /// value manifests at the fetch that produced it; the others at the
+    /// flagged step itself — the same placement `compile` uses).
+    pub hazards: Vec<Hazard>,
+    /// Whether `CheckMode::Eliminate` would insert a check here.
+    pub check_needed: bool,
+}
+
+/// The full safety picture of one query.
+#[derive(Debug, Clone)]
+pub struct QuerySafety {
+    /// A definite type error (the planner would reject the query), with
+    /// the span of the offending predicate or path step.
+    pub error: Option<(TypeError, Option<Span>)>,
+    /// Facts about the iteration variable from the scanned class alone.
+    pub scan_facts: EntityFacts,
+    /// Facts in force *before* each filter predicate is applied.
+    pub pred_facts: Vec<EntityFacts>,
+    /// Facts after all membership guards folded in.
+    pub guarded_facts: EntityFacts,
+    /// Per-step analysis of the emitted path (empty after an error in
+    /// the filters).
+    pub steps: Vec<StepSafety>,
+    /// The static type of the projected expression.
+    pub result: TySet,
+    /// Whether the projected value itself may be absent.
+    pub result_may_be_absent: bool,
+}
+
+impl QuerySafety {
+    /// Residual hazards: placed step hazards plus a maybe-absent result.
+    pub fn hazard_count(&self) -> usize {
+        self.steps.iter().map(|s| s.hazards.len()).sum::<usize>()
+            + usize::from(self.result_may_be_absent)
+    }
+
+    /// Whether the query can run with no checks and no type error.
+    pub fn is_safe(&self) -> bool {
+        self.error.is_none() && self.hazard_count() == 0
+    }
+}
+
+/// Runs the planner's hazard analysis step by step, keeping spans and
+/// intermediate conditional types.
+pub fn analyze_query(ctx: &TypeContext<'_>, sq: &SpannedQuery) -> QuerySafety {
+    let schema: &Schema = ctx.schema;
+    let query = &sq.query;
+    let scan_facts = EntityFacts::of_class(schema, query.class);
+    let mut facts = scan_facts.clone();
+    let mut pred_facts = Vec::with_capacity(query.filter.len());
+    let mut out = QuerySafety {
+        error: None,
+        scan_facts,
+        pred_facts: Vec::new(),
+        guarded_facts: facts.clone(),
+        steps: Vec::new(),
+        result: TySet::never(),
+        result_may_be_absent: false,
+    };
+
+    for (i, pred) in query.filter.iter().enumerate() {
+        pred_facts.push(facts.clone());
+        let span = sq.pred_spans.get(i).copied();
+        match pred {
+            Pred::InClass(c) => {
+                facts.assume_in(schema, *c);
+                if facts.contradictory() {
+                    out.error = Some((TypeError::VacuousQuery { pred: i }, span));
+                }
+            }
+            Pred::NotInClass(c) => {
+                facts.assume_not_in(schema, *c);
+                if facts.contradictory() {
+                    out.error = Some((TypeError::VacuousQuery { pred: i }, span));
+                }
+            }
+            Pred::PathInClass(path, _) | Pred::TokEq(path, _) | Pred::IntLe(path, _) => {
+                let analysis = analyze_path(ctx, &facts, path);
+                if analysis.result.is_never() {
+                    out.error = Some((TypeError::FilterNeverTyped { pred: i }, span));
+                }
+            }
+        }
+        if out.error.is_some() {
+            out.pred_facts = pred_facts;
+            return out;
+        }
+    }
+    out.pred_facts = pred_facts;
+    out.guarded_facts = facts.clone();
+
+    // Walk the emitted path one step at a time so each hazard can be
+    // tied to the incoming type and the span where it surfaced. The
+    // stepwise fold computes exactly what `analyze_path` would.
+    let n = query.emit.len();
+    let mut cur = TySet::of(Atom::Entity(facts));
+    let mut raw: Vec<Hazard> = Vec::new();
+    for (i, &attr) in query.emit.iter().enumerate() {
+        let incoming = cur.clone();
+        let analysis = analyze_path_from(ctx, cur, &[attr]);
+        for h in analysis.hazards {
+            raw.push(match h {
+                Hazard::MayBeAbsent { .. } => Hazard::MayBeAbsent { step: i },
+                Hazard::MayBeInapplicable { .. } => Hazard::MayBeInapplicable { step: i },
+                Hazard::ScalarDereference { .. } => Hazard::ScalarDereference { step: i },
+            });
+        }
+        out.steps.push(StepSafety {
+            attr,
+            span: sq.emit_spans.get(i).copied(),
+            incoming,
+            hazards: Vec::new(),
+            check_needed: false,
+        });
+        cur = analysis.result;
+    }
+    for h in raw.iter().cloned() {
+        let at = match &h {
+            Hazard::MayBeAbsent { step } => step.saturating_sub(1),
+            Hazard::MayBeInapplicable { step } | Hazard::ScalarDereference { step } => *step,
+        };
+        if at < n {
+            out.steps[at].hazards.push(h);
+            out.steps[at].check_needed = true;
+        }
+    }
+    out.result_may_be_absent = cur.may_be_absent();
+    if out.result_may_be_absent && n > 0 {
+        out.steps[n - 1].check_needed = true;
+    }
+    if cur.is_never() && n > 0 {
+        let step = raw.first().map(|h| h.step()).unwrap_or(0);
+        let span = out.steps.get(step).and_then(|s| s.span);
+        out.error = Some((TypeError::PathNeverTyped { step }, span));
+    }
+    out.result = cur;
+    out
+}
+
+/// Residual hazard count of the emitted path under `facts`, or `None`
+/// when the path would be a definite type error.
+fn residual(ctx: &TypeContext<'_>, facts: &EntityFacts, emit: &[Sym]) -> Option<usize> {
+    let a = analyze_path(ctx, facts, emit);
+    if a.result.is_never() {
+        return None;
+    }
+    Some(a.hazards.len() + usize::from(a.result.may_be_absent()))
+}
+
+/// Synthesizes a minimal `p not in C` guard set that makes the query's
+/// emitted path fully safe (zero residual hazards), or `None` when no
+/// such set exists among the scanned class's subclasses.
+///
+/// This is §4.2's case analysis run in reverse: each hazard exists
+/// because some conditional-type alternative — contributed by an
+/// exceptional subclass — admits an excused/absent value; excluding
+/// that subclass prunes the alternative. The search space is pruned to
+/// stay low-polynomial (E8):
+///
+/// 1. candidates are only *proper, non-virtual subclasses* of the
+///    scanned class not already decided by the query's own guards;
+/// 2. single guards are tried exhaustively first (the common §5.4 case,
+///    `O(d)` path analyses for `d` subclasses);
+/// 3. otherwise a greedy pass adds the candidate with the largest
+///    hazard reduction per round, capped at the initial hazard count —
+///    `O(h·d)` path analyses total, each `O(|path|)` — and gives up if
+///    a round fails to strictly improve.
+pub fn synthesize_guards(ctx: &TypeContext<'_>, query: &Query) -> Option<Vec<ClassId>> {
+    let schema: &Schema = ctx.schema;
+    if query.emit.is_empty() {
+        return None;
+    }
+    let mut facts = EntityFacts::of_class(schema, query.class);
+    for pred in &query.filter {
+        match pred {
+            Pred::InClass(c) => facts.assume_in(schema, *c),
+            Pred::NotInClass(c) => facts.assume_not_in(schema, *c),
+            _ => {}
+        }
+        if facts.contradictory() {
+            return None;
+        }
+    }
+    let initial = residual(ctx, &facts, &query.emit)?;
+    if initial == 0 {
+        return None;
+    }
+
+    let candidates: Vec<ClassId> = schema
+        .class_ids()
+        .filter(|&c| {
+            c != query.class
+                && schema.is_subclass(c, query.class)
+                && !schema.class(c).is_virtual()
+                && !facts.known_in(c)
+                && !facts.known_not_in(c)
+        })
+        .collect();
+
+    let exclude = |base: &EntityFacts, c: ClassId| -> Option<EntityFacts> {
+        let mut f = base.clone();
+        f.assume_not_in(schema, c);
+        (!f.contradictory()).then_some(f)
+    };
+
+    // Pass 1: a single guard, the paper's own resolution.
+    for &c in &candidates {
+        if let Some(f) = exclude(&facts, c) {
+            if residual(ctx, &f, &query.emit) == Some(0) {
+                return Some(vec![c]);
+            }
+        }
+    }
+
+    // Pass 2: greedy set cover over hazards, one guard per round.
+    let mut cur = facts;
+    let mut chosen = Vec::new();
+    let mut remaining = initial;
+    for _ in 0..initial {
+        let mut best: Option<(usize, ClassId, EntityFacts)> = None;
+        for &c in &candidates {
+            if chosen.contains(&c) {
+                continue;
+            }
+            let Some(f) = exclude(&cur, c) else { continue };
+            let Some(r) = residual(ctx, &f, &query.emit) else { continue };
+            if r < remaining && best.as_ref().is_none_or(|(br, ..)| r < *br) {
+                best = Some((r, c, f));
+            }
+        }
+        let (r, c, f) = best?;
+        chosen.push(c);
+        cur = f;
+        remaining = r;
+        if remaining == 0 {
+            return Some(chosen);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query_spanned;
+    use crate::plan::{compile, CheckMode};
+    use chc_core::virtualize;
+    use chc_workloads::vignettes::{compiled, HOSPITAL};
+
+    fn hospital() -> chc_core::Virtualized {
+        virtualize(&compiled(HOSPITAL)).unwrap()
+    }
+
+    #[test]
+    fn stepwise_analysis_matches_the_planner() {
+        let v = hospital();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        for src in [
+            "for p in Patient emit p.treatedAt.location.city",
+            "for p in Patient emit p.treatedAt.location.state",
+            "for p in Patient where p not in Tubercular_Patient emit p.treatedAt.location.state",
+            "for p in Patient where p in Alcoholic emit p.treatedBy",
+        ] {
+            let sq = parse_query_spanned(s, src).unwrap();
+            let safety = analyze_query(&ctx, &sq);
+            let plan = compile(&ctx, &sq.query, CheckMode::Eliminate).unwrap();
+            assert!(safety.error.is_none(), "{src}");
+            let checks: Vec<bool> = safety.steps.iter().map(|st| st.check_needed).collect();
+            assert_eq!(checks, plan.step_checks, "{src}");
+            assert_eq!(safety.result_may_be_absent, plan.result_may_be_absent, "{src}");
+            assert_eq!(safety.hazard_count(), plan.warnings.len()
+                + usize::from(plan.result_may_be_absent), "{src}");
+        }
+    }
+
+    #[test]
+    fn definite_errors_are_reported_with_spans_not_thrown() {
+        let v = hospital();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let sq = parse_query_spanned(s, "for p in Person emit p.treatedBy").unwrap();
+        let safety = analyze_query(&ctx, &sq);
+        let (err, span) = safety.error.expect("Person has no treatedBy");
+        assert_eq!(err, TypeError::PathNeverTyped { step: 0 });
+        assert_eq!(span.unwrap().col, 24);
+        let sq = parse_query_spanned(
+            s,
+            "for p in Alcoholic\nwhere p not in Patient\nemit p.name",
+        )
+        .unwrap();
+        let safety = analyze_query(&ctx, &sq);
+        let (err, span) = safety.error.expect("contradictory guard");
+        assert_eq!(err, TypeError::VacuousQuery { pred: 0 });
+        assert_eq!(span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn incoming_types_narrow_through_guards() {
+        let v = hospital();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let sq = parse_query_spanned(
+            s,
+            "for p in Patient where p in Alcoholic emit p.treatedBy",
+        )
+        .unwrap();
+        let safety = analyze_query(&ctx, &sq);
+        let psychologist = s.class_by_name("Psychologist").unwrap();
+        assert!(safety.result.all_within_class(psychologist));
+        assert!(safety.guarded_facts.known_in(s.class_by_name("Alcoholic").unwrap()));
+    }
+
+    #[test]
+    fn guard_synthesis_finds_tubercular_patient() {
+        let v = hospital();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let q = crate::parse::parse_query(
+            s,
+            "for p in Patient emit p.treatedAt.location.state",
+        )
+        .unwrap();
+        let guards = synthesize_guards(&ctx, &q).expect("a guard exists");
+        let tb = s.class_by_name("Tubercular_Patient").unwrap();
+        assert_eq!(guards, vec![tb]);
+        // The synthesized guard really is safe: re-analyze with it.
+        let mut f = EntityFacts::of_class(s, q.class);
+        f.assume_not_in(s, tb);
+        assert_eq!(residual(&ctx, &f, &q.emit), Some(0));
+    }
+
+    #[test]
+    fn guard_synthesis_skips_already_safe_and_hopeless_queries() {
+        let v = hospital();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let safe = crate::parse::parse_query(
+            s,
+            "for p in Patient emit p.treatedAt.location.city",
+        )
+        .unwrap();
+        assert_eq!(synthesize_guards(&ctx, &safe), None);
+        // Scanning the exceptional class itself: no subclass exclusion
+        // can remove the excused branch.
+        let hopeless = crate::parse::parse_query(
+            s,
+            "for p in Tubercular_Patient emit p.treatedAt.location.state",
+        )
+        .unwrap();
+        assert_eq!(synthesize_guards(&ctx, &hopeless), None);
+    }
+
+    #[test]
+    fn guard_synthesis_handles_multiple_hazard_sources() {
+        // Two independent exceptional subclasses, each excusing a
+        // different step of the path: both guards are needed.
+        let schema = chc_sdl::compile(
+            "
+            class Ward with name: String;
+            class Hospital with ward: Ward;
+            class Patient with treatedAt: Hospital;
+            class Remote_Patient is-a Patient with
+                treatedAt: None excuses treatedAt on Patient;
+            class Field_Patient is-a Patient with
+                treatedAt: Hospital [ ward: None excuses ward on Hospital ];
+            ",
+        )
+        .unwrap();
+        let v = virtualize(&schema).unwrap();
+        let ctx = TypeContext::with_virtuals(&v);
+        let s = &v.schema;
+        let q = crate::parse::parse_query(s, "for p in Patient emit p.treatedAt.ward.name")
+            .unwrap();
+        let guards = synthesize_guards(&ctx, &q).expect("guards exist");
+        let names: Vec<&str> = guards.iter().map(|&c| s.class_name(c)).collect();
+        assert_eq!(guards.len(), 2, "{names:?}");
+        assert!(names.contains(&"Remote_Patient") && names.contains(&"Field_Patient"));
+    }
+}

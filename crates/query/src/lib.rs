@@ -15,12 +15,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod ast;
 pub mod eval;
 pub mod parse;
 pub mod plan;
 
+pub use analyze::{analyze_query, synthesize_guards, QuerySafety, StepSafety};
 pub use ast::{Pred, Query, QueryBuilder};
 pub use eval::{execute, EvalStats, ExecResult, ExecStats};
-pub use parse::{parse_query, QueryParseError};
+pub use parse::{
+    parse_query, parse_query_file, parse_query_spanned, QueryParseError, QueryParseErrorKind,
+    SpannedQuery,
+};
 pub use plan::{compile, CheckMode, Plan, TypeError};

@@ -11,6 +11,7 @@
 //! Grammar:
 //!
 //! ```text
+//! file   := (query ";")* query? (`--` comments run to end of line)
 //! query  := "for" IDENT "in" IDENT ("where" pred ("and" pred)*)? "emit" path
 //! pred   := VAR "in" IDENT
 //!         | VAR "not" "in" IDENT
@@ -19,14 +20,35 @@
 //!         | path "<=" INT
 //! path   := VAR ("." IDENT)+
 //! ```
+//!
+//! Every token carries its 1-based line/column, so parse errors and the
+//! downstream safety analysis (`chc lint --query`, Q001–Q005) can point
+//! at the offending position with a caret — the same [`Span`] type the
+//! SDL compiler records for schema declarations.
+//!
+//! A `.chq` *query file* holds any number of `;`-terminated queries plus
+//! `--` comments. The special comment `-- expect: Q001 Q005` declares
+//! that the **next** query is known to fire those lint codes; the linter
+//! downgrades expected findings to info (so hazardous showcase queries
+//! can live in CI under `--deny warnings`) and *fails* if an expected
+//! code does not fire.
 
-use chc_model::{Schema, Sym};
+use chc_model::{Schema, Span, Sym};
 
 use crate::ast::{Pred, Query};
 
-/// A query-parsing failure.
+/// A query-parsing failure, with the position of the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum QueryParseError {
+pub struct QueryParseError {
+    /// What went wrong.
+    pub kind: QueryParseErrorKind,
+    /// Where (1-based line and byte column into the query source).
+    pub span: Span,
+}
+
+/// The ways parsing can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseErrorKind {
     /// Expected one thing, found another.
     Expected {
         /// What the grammar wanted.
@@ -52,14 +74,14 @@ pub enum QueryParseError {
 
 impl std::fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            QueryParseError::Expected { what, found } => {
+        match &self.kind {
+            QueryParseErrorKind::Expected { what, found } => {
                 write!(f, "expected {what}, found `{found}`")
             }
-            QueryParseError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
-            QueryParseError::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
-            QueryParseError::UnknownToken(t) => write!(f, "unknown token `'{t}`"),
-            QueryParseError::WrongVariable { expected, found } => {
+            QueryParseErrorKind::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            QueryParseErrorKind::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
+            QueryParseErrorKind::UnknownToken(t) => write!(f, "unknown token `'{t}`"),
+            QueryParseErrorKind::WrongVariable { expected, found } => {
                 write!(f, "path must start with `{expected}`, found `{found}`")
             }
         }
@@ -68,10 +90,117 @@ impl std::fmt::Display for QueryParseError {
 
 impl std::error::Error for QueryParseError {}
 
-/// Parses a query against a schema (names resolve immediately).
+/// One parsed query plus the source positions the safety analyzer needs:
+/// the query head, the scanned class, each predicate, and each step of
+/// the emitted path.
+#[derive(Debug, Clone)]
+pub struct SpannedQuery {
+    /// The query itself.
+    pub query: Query,
+    /// Position of the `for` keyword.
+    pub span: Span,
+    /// Position of the scanned class name.
+    pub class_span: Span,
+    /// Position of each filter predicate (its first token).
+    pub pred_spans: Vec<Span>,
+    /// Position of each attribute in the emitted path, in step order.
+    pub emit_spans: Vec<Span>,
+    /// Lint codes a preceding `-- expect:` directive promised will fire.
+    pub expect: Vec<String>,
+}
+
+/// Parses a single query against a schema (names resolve immediately).
 pub fn parse_query(schema: &Schema, src: &str) -> Result<Query, QueryParseError> {
+    parse_query_spanned(schema, src).map(|sq| sq.query)
+}
+
+/// Parses a single query, keeping the source positions.
+pub fn parse_query_spanned(schema: &Schema, src: &str) -> Result<SpannedQuery, QueryParseError> {
     let tokens = tokenize(src);
-    P { schema, tokens, at: 0 }.query()
+    let mut p = P { schema, tokens, at: 0 };
+    let q = p.query()?;
+    // A single trailing `;` is fine; anything else is trailing garbage.
+    if matches!(p.peek().t, T::Semi) {
+        p.bump();
+    }
+    let t = p.bump();
+    match t.t {
+        T::Eof => Ok(q),
+        other => Err(err(
+            QueryParseErrorKind::Expected {
+                what: "end of query".to_string(),
+                found: render_token(&other),
+            },
+            t.span,
+        )),
+    }
+}
+
+/// Parses a `.chq` file: `;`-separated queries, `--` comments, and
+/// `-- expect:` directives attaching to the following query.
+pub fn parse_query_file(schema: &Schema, src: &str) -> Result<Vec<SpannedQuery>, QueryParseError> {
+    // Directives live in comments, which the tokenizer skips; pull them
+    // from the raw lines first.
+    let mut directives: Vec<(u32, Vec<String>)> = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(rest) = line.trim_start().strip_prefix("-- expect:") {
+            let codes: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+            directives.push((i as u32 + 1, codes));
+        }
+    }
+    let tokens = tokenize(src);
+    let mut p = P { schema, tokens, at: 0 };
+    let mut out: Vec<SpannedQuery> = Vec::new();
+    loop {
+        while matches!(p.peek().t, T::Semi) {
+            p.bump();
+        }
+        if matches!(p.peek().t, T::Eof) {
+            break;
+        }
+        let mut q = p.query()?;
+        for (line, codes) in &directives {
+            // A directive governs the first query that starts after it.
+            let prev_end = out.last().map(|prev: &SpannedQuery| prev.span.line).unwrap_or(0);
+            if *line < q.span.line && *line > prev_end {
+                q.expect.extend(codes.iter().cloned());
+            }
+        }
+        out.push(q);
+        match p.peek().t {
+            T::Semi => {
+                p.bump();
+            }
+            T::Eof => break,
+            _ => {
+                let t = p.bump();
+                return Err(err(
+                    QueryParseErrorKind::Expected {
+                        what: "`;` between queries".to_string(),
+                        found: render_token(&t.t),
+                    },
+                    t.span,
+                ));
+            }
+        }
+    }
+    if let Some((line, _)) = directives
+        .iter()
+        .find(|(line, _)| out.iter().all(|q| q.span.line <= *line))
+    {
+        return Err(err(
+            QueryParseErrorKind::Expected {
+                what: "a query after `-- expect:`".to_string(),
+                found: "end of file".to_string(),
+            },
+            Span { line: *line, col: 1 },
+        ));
+    }
+    Ok(out)
+}
+
+fn err(kind: QueryParseErrorKind, span: Span) -> QueryParseError {
+    QueryParseError { kind, span }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,77 +211,133 @@ enum T {
     Dot,
     Eq,
     Le,
+    Semi,
     Eof,
 }
 
-fn tokenize(src: &str) -> Vec<T> {
+fn render_token(t: &T) -> String {
+    match t {
+        T::Word(w) => w.clone(),
+        T::Quoted(q) => format!("'{q}"),
+        T::Int(n) => n.to_string(),
+        T::Dot => ".".to_string(),
+        T::Eq => "=".to_string(),
+        T::Le => "<=".to_string(),
+        T::Semi => ";".to_string(),
+        T::Eof => "end of input".to_string(),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    t: T,
+    span: Span,
+}
+
+fn tokenize(src: &str) -> Vec<Tok> {
     let mut out = Vec::new();
     let b = src.as_bytes();
     let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
     while i < b.len() {
         let c = b[i];
+        let here = Span { line, col };
+        // Byte-level position bookkeeping: every branch below advances
+        // `i`; this closure keeps line/col in lock-step.
+        macro_rules! advance {
+            ($n:expr) => {{
+                for k in 0..$n {
+                    if b[i + k] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                }
+                i += $n;
+            }};
+        }
         match c {
-            c if c.is_ascii_whitespace() => i += 1,
+            c if c.is_ascii_whitespace() => advance!(1),
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                // `--` comment: skip to end of line.
+                let mut n = 0;
+                while i + n < b.len() && b[i + n] != b'\n' {
+                    n += 1;
+                }
+                advance!(n);
+            }
             b'.' => {
-                out.push(T::Dot);
-                i += 1;
+                out.push(Tok { t: T::Dot, span: here });
+                advance!(1);
             }
             b'=' => {
-                out.push(T::Eq);
-                i += 1;
+                out.push(Tok { t: T::Eq, span: here });
+                advance!(1);
+            }
+            b';' => {
+                out.push(Tok { t: T::Semi, span: here });
+                advance!(1);
             }
             b'<' if b.get(i + 1) == Some(&b'=') => {
-                out.push(T::Le);
-                i += 2;
+                out.push(Tok { t: T::Le, span: here });
+                advance!(2);
             }
             b'\'' => {
                 let start = i + 1;
-                i += 1;
-                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
-                    i += 1;
+                let mut n = 1;
+                while i + n < b.len() && (b[i + n].is_ascii_alphanumeric() || b[i + n] == b'_') {
+                    n += 1;
                 }
-                out.push(T::Quoted(src[start..i].to_string()));
+                out.push(Tok { t: T::Quoted(src[start..i + n].to_string()), span: here });
+                advance!(n);
             }
             c if c.is_ascii_digit()
                 || (c == b'-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
             {
-                let start = i;
-                i += 1;
-                while i < b.len() && b[i].is_ascii_digit() {
-                    i += 1;
+                let mut n = 1;
+                while i + n < b.len() && b[i + n].is_ascii_digit() {
+                    n += 1;
                 }
-                out.push(T::Int(src[start..i].parse().unwrap_or(0)));
+                out.push(Tok {
+                    t: T::Int(src[i..i + n].parse().unwrap_or(0)),
+                    span: here,
+                });
+                advance!(n);
             }
             c if c.is_ascii_alphanumeric() || c == b'_' => {
-                let start = i;
-                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'#')
+                let mut n = 0;
+                while i + n < b.len()
+                    && (b[i + n].is_ascii_alphanumeric() || b[i + n] == b'_' || b[i + n] == b'#')
                 {
-                    i += 1;
+                    n += 1;
                 }
-                out.push(T::Word(src[start..i].to_string()));
+                out.push(Tok { t: T::Word(src[i..i + n].to_string()), span: here });
+                advance!(n);
             }
             _ => {
-                out.push(T::Word((c as char).to_string()));
-                i += 1;
+                out.push(Tok { t: T::Word((c as char).to_string()), span: here });
+                advance!(1);
             }
         }
     }
-    out.push(T::Eof);
+    out.push(Tok { t: T::Eof, span: Span { line, col } });
     out
 }
 
 struct P<'s> {
     schema: &'s Schema,
-    tokens: Vec<T>,
+    tokens: Vec<Tok>,
     at: usize,
 }
 
 impl P<'_> {
-    fn peek(&self) -> &T {
+    fn peek(&self) -> &Tok {
         &self.tokens[self.at]
     }
 
-    fn bump(&mut self) -> T {
+    fn bump(&mut self) -> Tok {
         let t = self.tokens[self.at].clone();
         if self.at + 1 < self.tokens.len() {
             self.at += 1;
@@ -161,43 +346,56 @@ impl P<'_> {
     }
 
     fn expect_word(&mut self, kw: &str) -> Result<(), QueryParseError> {
-        match self.bump() {
+        let t = self.bump();
+        match t.t {
             T::Word(w) if w == kw => Ok(()),
-            other => Err(QueryParseError::Expected {
-                what: format!("`{kw}`"),
-                found: format!("{other:?}"),
-            }),
+            other => Err(err(
+                QueryParseErrorKind::Expected {
+                    what: format!("`{kw}`"),
+                    found: render_token(&other),
+                },
+                t.span,
+            )),
         }
     }
 
-    fn word(&mut self, what: &str) -> Result<String, QueryParseError> {
-        match self.bump() {
-            T::Word(w) => Ok(w),
-            other => Err(QueryParseError::Expected {
-                what: what.to_string(),
-                found: format!("{other:?}"),
-            }),
+    fn word(&mut self, what: &str) -> Result<(String, Span), QueryParseError> {
+        let t = self.bump();
+        match t.t {
+            T::Word(w) => Ok((w, t.span)),
+            other => Err(err(
+                QueryParseErrorKind::Expected {
+                    what: what.to_string(),
+                    found: render_token(&other),
+                },
+                t.span,
+            )),
         }
     }
 
-    fn class(&mut self) -> Result<chc_model::ClassId, QueryParseError> {
-        let name = self.word("a class name")?;
-        self.schema
-            .class_by_name(&name)
-            .ok_or(QueryParseError::UnknownClass(name))
+    fn class(&mut self) -> Result<(chc_model::ClassId, Span), QueryParseError> {
+        let (name, span) = self.word("a class name")?;
+        match self.schema.class_by_name(&name) {
+            Some(id) => Ok((id, span)),
+            None => Err(err(QueryParseErrorKind::UnknownClass(name), span)),
+        }
     }
 
-    fn query(mut self) -> Result<Query, QueryParseError> {
+    /// Parses one query, stopping at `;` or end of input.
+    fn query(&mut self) -> Result<SpannedQuery, QueryParseError> {
+        let span = self.peek().span;
         self.expect_word("for")?;
-        let var = self.word("the iteration variable")?;
+        let (var, _) = self.word("the iteration variable")?;
         self.expect_word("in")?;
-        let class = self.class()?;
+        let (class, class_span) = self.class()?;
         let mut filter = Vec::new();
-        if matches!(self.peek(), T::Word(w) if w == "where") {
+        let mut pred_spans = Vec::new();
+        if matches!(&self.peek().t, T::Word(w) if w == "where") {
             self.bump();
             loop {
+                pred_spans.push(self.peek().span);
                 filter.push(self.pred(&var)?);
-                if matches!(self.peek(), T::Word(w) if w == "and") {
+                if matches!(&self.peek().t, T::Word(w) if w == "and") {
                     self.bump();
                 } else {
                     break;
@@ -205,100 +403,131 @@ impl P<'_> {
             }
         }
         self.expect_word("emit")?;
-        let emit = self.path(&var)?;
-        match self.bump() {
-            T::Eof => Ok(Query { class, filter, emit }),
-            other => Err(QueryParseError::Expected {
-                what: "end of query".to_string(),
-                found: format!("{other:?}"),
-            }),
-        }
+        let (emit, emit_spans) = self.path(&var)?;
+        Ok(SpannedQuery {
+            query: Query { class, filter, emit },
+            span,
+            class_span,
+            pred_spans,
+            emit_spans,
+            expect: Vec::new(),
+        })
     }
 
     /// A predicate starting with the variable: either `var [not] in C` or
     /// a path comparison.
     fn pred(&mut self, var: &str) -> Result<Pred, QueryParseError> {
-        let head = self.word("the iteration variable")?;
+        let (head, head_span) = self.word("the iteration variable")?;
         if head != var {
-            return Err(QueryParseError::WrongVariable {
-                expected: var.to_string(),
-                found: head,
-            });
+            return Err(err(
+                QueryParseErrorKind::WrongVariable {
+                    expected: var.to_string(),
+                    found: head,
+                },
+                head_span,
+            ));
         }
-        if matches!(self.peek(), T::Dot) {
-            let path = self.path_tail()?;
-            match self.bump() {
-                T::Word(w) if w == "in" => Ok(Pred::PathInClass(path, self.class()?)),
-                T::Eq => match self.bump() {
-                    T::Quoted(tok) => {
-                        let sym = self
-                            .schema
-                            .sym(&tok)
-                            .ok_or(QueryParseError::UnknownToken(tok))?;
-                        Ok(Pred::TokEq(path, sym))
+        if matches!(self.peek().t, T::Dot) {
+            let (path, _) = self.path_tail()?;
+            let t = self.bump();
+            match t.t {
+                T::Word(w) if w == "in" => Ok(Pred::PathInClass(path, self.class()?.0)),
+                T::Eq => {
+                    let t = self.bump();
+                    match t.t {
+                        T::Quoted(tok) => match self.schema.sym(&tok) {
+                            Some(sym) => Ok(Pred::TokEq(path, sym)),
+                            None => Err(err(QueryParseErrorKind::UnknownToken(tok), t.span)),
+                        },
+                        other => Err(err(
+                            QueryParseErrorKind::Expected {
+                                what: "a token like `'NJ`".to_string(),
+                                found: render_token(&other),
+                            },
+                            t.span,
+                        )),
                     }
-                    other => Err(QueryParseError::Expected {
-                        what: "a token like `'NJ`".to_string(),
-                        found: format!("{other:?}"),
-                    }),
-                },
-                T::Le => match self.bump() {
-                    T::Int(n) => Ok(Pred::IntLe(path, n)),
-                    other => Err(QueryParseError::Expected {
-                        what: "an integer".to_string(),
-                        found: format!("{other:?}"),
-                    }),
-                },
-                other => Err(QueryParseError::Expected {
-                    what: "`in`, `=`, or `<=`".to_string(),
-                    found: format!("{other:?}"),
-                }),
+                }
+                T::Le => {
+                    let t = self.bump();
+                    match t.t {
+                        T::Int(n) => Ok(Pred::IntLe(path, n)),
+                        other => Err(err(
+                            QueryParseErrorKind::Expected {
+                                what: "an integer".to_string(),
+                                found: render_token(&other),
+                            },
+                            t.span,
+                        )),
+                    }
+                }
+                other => Err(err(
+                    QueryParseErrorKind::Expected {
+                        what: "`in`, `=`, or `<=`".to_string(),
+                        found: render_token(&other),
+                    },
+                    t.span,
+                )),
             }
         } else {
-            match self.bump() {
-                T::Word(w) if w == "in" => Ok(Pred::InClass(self.class()?)),
+            let t = self.bump();
+            match t.t {
+                T::Word(w) if w == "in" => Ok(Pred::InClass(self.class()?.0)),
                 T::Word(w) if w == "not" => {
                     self.expect_word("in")?;
-                    Ok(Pred::NotInClass(self.class()?))
+                    Ok(Pred::NotInClass(self.class()?.0))
                 }
-                other => Err(QueryParseError::Expected {
-                    what: "`in` or `not in`".to_string(),
-                    found: format!("{other:?}"),
-                }),
+                other => Err(err(
+                    QueryParseErrorKind::Expected {
+                        what: "`in` or `not in`".to_string(),
+                        found: render_token(&other),
+                    },
+                    t.span,
+                )),
             }
         }
     }
 
-    fn path(&mut self, var: &str) -> Result<Vec<Sym>, QueryParseError> {
-        let head = self.word("the iteration variable")?;
+    fn path(&mut self, var: &str) -> Result<(Vec<Sym>, Vec<Span>), QueryParseError> {
+        let (head, head_span) = self.word("the iteration variable")?;
         if head != var {
-            return Err(QueryParseError::WrongVariable {
-                expected: var.to_string(),
-                found: head,
-            });
+            return Err(err(
+                QueryParseErrorKind::WrongVariable {
+                    expected: var.to_string(),
+                    found: head,
+                },
+                head_span,
+            ));
         }
         self.path_tail()
     }
 
-    /// Parses `(.IDENT)+` after the variable.
-    fn path_tail(&mut self) -> Result<Vec<Sym>, QueryParseError> {
+    /// Parses `(.IDENT)+` after the variable; returns the attribute
+    /// symbols and the span of each attribute name.
+    fn path_tail(&mut self) -> Result<(Vec<Sym>, Vec<Span>), QueryParseError> {
         let mut out = Vec::new();
-        while matches!(self.peek(), T::Dot) {
+        let mut spans = Vec::new();
+        while matches!(self.peek().t, T::Dot) {
             self.bump();
-            let attr = self.word("an attribute name")?;
+            let (attr, span) = self.word("an attribute name")?;
             let sym = self
                 .schema
                 .sym(&attr)
-                .ok_or(QueryParseError::UnknownAttr(attr))?;
+                .ok_or_else(|| err(QueryParseErrorKind::UnknownAttr(attr), span))?;
             out.push(sym);
+            spans.push(span);
         }
         if out.is_empty() {
-            return Err(QueryParseError::Expected {
-                what: "`.attribute`".to_string(),
-                found: format!("{:?}", self.peek()),
-            });
+            let t = self.peek();
+            return Err(err(
+                QueryParseErrorKind::Expected {
+                    what: "`.attribute`".to_string(),
+                    found: render_token(&t.t),
+                },
+                t.span,
+            ));
         }
-        Ok(out)
+        Ok((out, spans))
     }
 }
 
@@ -340,24 +569,22 @@ mod tests {
     }
 
     #[test]
-    fn unknown_names_are_rejected() {
+    fn unknown_names_are_rejected_with_positions() {
         let schema = compiled(HOSPITAL);
-        assert!(matches!(
-            parse_query(&schema, "for p in Nobody emit p.name"),
-            Err(QueryParseError::UnknownClass(_))
-        ));
-        assert!(matches!(
-            parse_query(&schema, "for p in Patient emit p.nonexistent"),
-            Err(QueryParseError::UnknownAttr(_))
-        ));
+        let e = parse_query(&schema, "for p in Nobody emit p.name").unwrap_err();
+        assert!(matches!(e.kind, QueryParseErrorKind::UnknownClass(_)));
+        assert_eq!((e.span.line, e.span.col), (1, 10));
+        let e = parse_query(&schema, "for p in Patient emit p.nonexistent").unwrap_err();
+        assert!(matches!(e.kind, QueryParseErrorKind::UnknownAttr(_)));
+        assert_eq!((e.span.line, e.span.col), (1, 25));
     }
 
     #[test]
     fn wrong_variable_is_rejected() {
         let schema = compiled(HOSPITAL);
         assert!(matches!(
-            parse_query(&schema, "for p in Patient emit q.name"),
-            Err(QueryParseError::WrongVariable { .. })
+            parse_query(&schema, "for p in Patient emit q.name").map_err(|e| e.kind),
+            Err(QueryParseErrorKind::WrongVariable { .. })
         ));
     }
 
@@ -373,6 +600,48 @@ mod tests {
         ] {
             assert!(parse_query(&schema, bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn spans_cover_class_preds_and_emit_steps() {
+        let schema = compiled(HOSPITAL);
+        let src = "for p in Patient\nwhere p not in Alcoholic\nemit p.treatedAt.location.city";
+        let sq = parse_query_spanned(&schema, src).unwrap();
+        assert_eq!((sq.span.line, sq.span.col), (1, 1));
+        assert_eq!((sq.class_span.line, sq.class_span.col), (1, 10));
+        assert_eq!(sq.pred_spans.len(), 1);
+        assert_eq!((sq.pred_spans[0].line, sq.pred_spans[0].col), (2, 7));
+        assert_eq!(sq.emit_spans.len(), 3);
+        assert_eq!((sq.emit_spans[0].line, sq.emit_spans[0].col), (3, 8));
+        assert_eq!((sq.emit_spans[2].line, sq.emit_spans[2].col), (3, 27));
+    }
+
+    #[test]
+    fn query_files_parse_comments_semicolons_and_expectations() {
+        let schema = compiled(HOSPITAL);
+        let src = "\
+-- a comment
+for p in Patient emit p.name;
+
+-- expect: Q001 Q005
+for p in Patient emit p.treatedAt.location.state;
+for p in Patient where p not in Tubercular_Patient
+  emit p.treatedAt.location.state
+";
+        let qs = parse_query_file(&schema, src).unwrap();
+        assert_eq!(qs.len(), 3);
+        assert!(qs[0].expect.is_empty());
+        assert_eq!(qs[1].expect, vec!["Q001".to_string(), "Q005".to_string()]);
+        assert!(qs[2].expect.is_empty());
+        assert_eq!(qs[1].span.line, 5);
+    }
+
+    #[test]
+    fn dangling_expect_directive_is_an_error() {
+        let schema = compiled(HOSPITAL);
+        let e = parse_query_file(&schema, "for p in Patient emit p.name;\n-- expect: Q001\n")
+            .unwrap_err();
+        assert!(matches!(e.kind, QueryParseErrorKind::Expected { .. }));
     }
 
     #[test]

@@ -24,4 +24,10 @@ for sdl in examples/data/*.sdl; do
     ./target/release/chc lint "$sdl" --deny warnings
 done
 
+echo "==> chc lint --query --deny warnings over examples/*_queries.chq"
+for chq in examples/data/*_queries.chq; do
+    sdl="${chq%_queries.chq}.sdl"
+    ./target/release/chc lint --query "$chq" "$sdl" --deny warnings
+done
+
 echo "OK: all verification gates passed"

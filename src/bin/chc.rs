@@ -7,15 +7,22 @@
 //! chc check <schema.sdl> [--explain]     type-check a schema (exit 1 on errors);
 //!                                        --explain prints an admissibility
 //!                                        derivation for each diagnosed site
-//! chc lint <schema.sdl> [--format text|json]
+//! chc lint <schema.sdl> [--format text|json] [--query <file.chq|"query">]
 //!          [--allow <code>] [--warn <code>] [--deny <code>] [--deny warnings]
-//!                                        run the static-analysis lints (docs/LINTS.md)
+//!                                        run the static-analysis lints (docs/LINTS.md);
+//!                                        --query adds the Q001–Q005 query
+//!                                        safety analysis over a `.chq` batch
+//!                                        or an ad-hoc query string
 //! chc print <schema.sdl>                 canonical pretty-printed form
 //! chc virtualize <schema.sdl>            show the §5.6 virtual classes
 //!                                        (exit 1 if the virtualized schema has errors)
 //! chc explain <schema.sdl> <Class> [<attr>]
 //!                                        effective conditional types (§5.4)
-//! chc analyze <schema.sdl> "<query>"     static safety analysis of a query
+//! chc analyze <schema.sdl> "<query>"     deprecated alias for
+//!                                        `chc lint <schema.sdl> --query "<query>"`
+//! chc query <schema.sdl> <data.chd> "<query>"
+//!                                        compile and run a query; rows on
+//!                                        stdout, accounting on stderr
 //! chc validate <schema.sdl> <data.chd> [--audit-summary]
 //!                                        load instance data and validate it;
 //!                                        --audit-summary prints admissions
@@ -47,7 +54,9 @@ use excuses::core::{
 };
 use excuses::extent::{load_data, refresh_virtual_extents, validate_stored};
 use excuses::lint::{LintCode, LintConfig, LintLevel};
-use excuses::query::{compile as compile_query, parse_query, CheckMode};
+use excuses::query::{
+    compile as compile_query, execute, parse_query, parse_query_file, CheckMode,
+};
 use excuses::sdl::{compile_with_source, print_schema};
 use excuses::types::{cond_of, render_cond, render_tyset, EntityFacts, TypeContext};
 
@@ -259,12 +268,23 @@ fn render_audit_summary(rec: &chc_obs::AuditRecorder) -> String {
     out
 }
 
-/// Parses `chc lint`'s own arguments: `--format text|json` and repeated
-/// `--allow/--warn/--deny <code|name>` (last one wins per lint), plus
-/// `--deny warnings`. Returns the severity config and whether to emit JSON.
-fn parse_lint_args(args: &[String]) -> Result<(LintConfig, bool), String> {
+/// `chc lint`'s own arguments, parsed by [`parse_lint_args`].
+struct LintArgs {
+    config: LintConfig,
+    json: bool,
+    query: Option<String>,
+    schema: Option<String>,
+}
+
+/// Parses `chc lint`'s own arguments: `--format text|json`, repeated
+/// `--allow/--warn/--deny <code|name>` (last one wins per lint), `--deny
+/// warnings`, and `--query <file.chq|"query">`. The schema path is the
+/// sole positional argument and may appear anywhere among the flags.
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
     let mut config = LintConfig::new();
     let mut json = false;
+    let mut query = None;
+    let mut schema = None;
     let mut it = args.iter();
     let mut level_arg = |flag: &str, value: Option<&String>| -> Result<(), String> {
         let value = value.ok_or_else(|| format!("{flag} needs a lint code (e.g. L002)"))?;
@@ -295,16 +315,47 @@ fn parse_lint_args(args: &[String]) -> Result<(LintConfig, bool), String> {
                 }
             },
             flag @ ("--allow" | "--warn" | "--deny") => level_arg(flag, it.next())?,
-            other => return Err(format!("unknown lint option `{other}`")),
+            "--query" => {
+                query = Some(
+                    it.next()
+                        .ok_or("--query needs a .chq file or a query string")?
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown lint option `{other}`"))
+            }
+            other => {
+                if schema.replace(other.to_string()).is_some() {
+                    return Err(format!("unexpected lint argument `{other}`"));
+                }
+            }
         }
     }
-    Ok((config, json))
+    Ok(LintArgs {
+        config,
+        json,
+        query,
+        schema,
+    })
 }
 
 fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] <check|lint|print|virtualize|explain|analyze|validate> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] <check|lint|print|virtualize|explain|analyze|query|validate> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
-    let path = args.get(1).ok_or(usage)?;
+    // `lint` takes its schema as a free positional among its own flags
+    // (`chc lint --query q.chq schema.sdl` is valid); every other command
+    // takes it as the first argument.
+    let lint_args = if cmd == "lint" {
+        Some(parse_lint_args(&args[1..])?)
+    } else {
+        None
+    };
+    let path = match &lint_args {
+        Some(la) => la.schema.clone().ok_or(usage)?,
+        None => args.get(1).cloned().ok_or(usage)?,
+    };
+    let path = path.as_str();
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let schema = {
         let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
@@ -315,6 +366,7 @@ fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
         "lint" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_LINT)),
         "validate" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_VALIDATE)),
         "analyze" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_ANALYZE)),
+        "query" => Some(chc_obs::span(chc_obs::names::SPAN_CLI_QUERY)),
         _ => None,
     };
 
@@ -353,16 +405,62 @@ fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
             })
         }
         "lint" => {
-            let (config, json) = parse_lint_args(&args[2..])?;
-            let report = excuses::lint::run(&schema, &config);
-            if json {
-                println!("{}", report.to_json(&schema).render());
+            let la = lint_args.expect("parsed above for `lint`");
+            let Some(qarg) = &la.query else {
+                let report = excuses::lint::run(&schema, &la.config);
+                if la.json {
+                    println!("{}", report.to_json(&schema).render());
+                } else if report.findings.is_empty() {
+                    println!("{path}: {} classes — no lints fired", schema.num_classes());
+                } else {
+                    println!(
+                        "{}",
+                        excuses::lint::render_report(&report, &schema, Some(&src))
+                    );
+                }
+                return Ok(if report.is_ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            };
+            // `--query` takes either a `.chq` batch file or an ad-hoc
+            // query string; only the former gets a file name in locations.
+            let (qtext, qfile) =
+                if qarg.ends_with(".chq") || std::path::Path::new(qarg).is_file() {
+                    let text =
+                        std::fs::read_to_string(qarg).map_err(|e| format!("{qarg}: {e}"))?;
+                    (text, Some(qarg.as_str()))
+                } else {
+                    (qarg.clone(), None)
+                };
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let queries = parse_query_file(&v.schema, &qtext).map_err(|e| {
+                format!("{}:{}: {e}", qfile.unwrap_or("<query>"), e.span)
+            })?;
+            // Schema lints run over the original schema; query analysis
+            // over the virtualized one. Both render against `v.schema`,
+            // which preserves original class ids and the source map.
+            let report =
+                excuses::lint::run_with_queries(&schema, &v, &queries, qfile, &la.config);
+            if la.json {
+                println!("{}", report.to_json(&v.schema).render());
             } else if report.findings.is_empty() {
-                println!("{path}: {} classes — no lints fired", schema.num_classes());
+                println!(
+                    "{path}: {} classes, {} quer{} — no lints fired",
+                    schema.num_classes(),
+                    queries.len(),
+                    if queries.len() == 1 { "y" } else { "ies" }
+                );
             } else {
                 println!(
                     "{}",
-                    excuses::lint::render_report(&report, &schema, Some(&src))
+                    excuses::lint::render_report_sources(
+                        &report,
+                        &v.schema,
+                        Some(&src),
+                        Some(&qtext)
+                    )
                 );
             }
             Ok(if report.is_ok() {
@@ -455,32 +553,79 @@ fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
         }
         "analyze" => {
             let text = args.get(2).ok_or("analyze needs a query string")?;
+            eprintln!(
+                "note: `chc analyze` is deprecated; use `chc lint <schema.sdl> --query \"<query>\"`"
+            );
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let queries =
+                parse_query_file(&v.schema, text).map_err(|e| format!("{}: {e}", e.span))?;
+            let report =
+                excuses::lint::run_queries(&v, &queries, None, &LintConfig::new());
+            let rendered =
+                excuses::lint::render_report_sources(&report, &v.schema, None, Some(text));
+            if !rendered.is_empty() {
+                println!("{rendered}");
+            }
+            // Definite compile-time errors (Q001/Q003 over a never-typed
+            // result) render as `type error: …`; Q004's "no type error
+            // can occur" must not trip this.
+            let type_error = report
+                .findings
+                .iter()
+                .any(|f| f.message.starts_with("type error"));
+            if !type_error && report.is_ok() && report.warnings().next().is_none() {
+                println!("safe        : no run-time type error can occur");
+            }
+            Ok(if type_error {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "query" => {
+            let data_path = args.get(2).ok_or("query needs a data file")?;
+            let text = args.get(3).ok_or("query needs a query string")?;
+            let data_src =
+                std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+            let report = check(&schema);
+            if !report.is_ok() {
+                println!("{}", report.render(&schema));
+                return Err("schema has errors; fix it before querying data".to_string());
+            }
             let v = virtualize(&schema).map_err(|e| e.to_string())?;
             let ctx = TypeContext::with_virtuals(&v);
-            let query = parse_query(&v.schema, text).map_err(|e| e.to_string())?;
-            match compile_query(&ctx, &query, CheckMode::Eliminate) {
-                Ok(plan) => {
-                    println!(
-                        "static type : {}",
-                        render_tyset(&v.schema, &plan.static_type)
-                    );
-                    println!("checks/row  : {}", plan.checks_per_row());
-                    if plan.result_may_be_absent {
-                        println!("warning     : the result may be absent for some database states");
-                    }
-                    for h in &plan.warnings {
-                        println!("warning     : hazard at step {}: {:?}", h.step(), h);
-                    }
-                    if plan.warnings.is_empty() && !plan.result_may_be_absent {
-                        println!("safe        : no run-time type error can occur");
-                    }
-                    Ok(ExitCode::SUCCESS)
-                }
+            let mut data = load_data(&v.schema, &data_src).map_err(|e| e.to_string())?;
+            refresh_virtual_extents(&mut data.store, &v);
+            let query =
+                parse_query(&v.schema, text).map_err(|e| format!("query:{}: {e}", e.span))?;
+            let plan = match compile_query(&ctx, &query, CheckMode::Eliminate) {
+                Ok(plan) => plan,
                 Err(e) => {
-                    println!("type error  : {e:?}");
-                    Ok(ExitCode::FAILURE)
+                    eprintln!("query: type error: {e:?}");
+                    return Ok(ExitCode::FAILURE);
                 }
+            };
+            let result = execute(&v.schema, &data.store, &plan);
+            // Rows on stdout, all accounting on stderr: `chc query … | sort`
+            // sees only result values.
+            for val in &result.values {
+                println!("{}", val.render(&v.schema));
             }
+            let warnings = plan.warnings.len() + usize::from(plan.result_may_be_absent);
+            eprintln!(
+                "query: {} row(s) scanned, {} emitted, {} check(s)/row, {} compile-time warning(s)",
+                result.stats.rows_scanned,
+                result.stats.rows_emitted,
+                plan.checks_per_row(),
+                warnings,
+            );
+            if plan.result_may_be_absent {
+                eprintln!(
+                    "query: result may be absent — {} row(s) skipped by the run-time check",
+                    result.stats.rows_skipped_by_check,
+                );
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "validate" => {
             let data_path = args.get(2).ok_or("validate needs a data file")?;

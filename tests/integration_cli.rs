@@ -279,3 +279,68 @@ fn stats_report_keeps_json_stdout_machine_parseable() {
     assert!(stderr.contains("cli.lint"), "{stderr}");
     assert!(stderr.contains("lint.classes"), "{stderr}");
 }
+
+#[test]
+fn query_emits_rows_on_stdout_and_accounting_on_stderr() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let schema = dir.join("hospital.sdl");
+    let data = dir.join("hospital.chd");
+    let out = chc(&[
+        "query",
+        schema.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "for p in Patient emit p.name",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Rows only on stdout — one per line, pipeable.
+    assert_eq!(stdout.lines().count(), 3, "{stdout}");
+    for name in ["Ann", "Bob", "Tom"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    assert!(!stdout.contains("scanned"), "{stdout}");
+    // All accounting on stderr.
+    assert!(stderr.contains("3 row(s) scanned"), "{stderr}");
+    assert!(stderr.contains("3 emitted"), "{stderr}");
+    assert!(stderr.contains("0 compile-time warning(s)"), "{stderr}");
+}
+
+#[test]
+fn query_reports_skipped_rows_when_the_result_may_be_absent() {
+    // Tom is tubercular: his sanatorium's address has no state, so the
+    // surviving run-time check drops his row and stderr says why.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let schema = dir.join("hospital.sdl");
+    let data = dir.join("hospital.chd");
+    let out = chc(&[
+        "query",
+        schema.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "for p in Patient emit p.treatedAt.location.state",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(stderr.contains("3 row(s) scanned, 2 emitted"), "{stderr}");
+    assert!(stderr.contains("1 compile-time warning(s)"), "{stderr}");
+    assert!(stderr.contains("result may be absent"), "{stderr}");
+    assert!(stderr.contains("1 row(s) skipped"), "{stderr}");
+}
+
+#[test]
+fn query_rejects_ill_typed_queries_with_a_failing_exit() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let schema = dir.join("hospital.sdl");
+    let data = dir.join("hospital.chd");
+    let out = chc(&[
+        "query",
+        schema.to_str().unwrap(),
+        data.to_str().unwrap(),
+        "for h in Hospital emit h.treatedBy",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("type error"));
+}

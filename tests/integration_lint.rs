@@ -150,3 +150,122 @@ fn virtualize_with_clean_schema_still_exits_zero() {
     let out = chc(&["virtualize", path.to_str().unwrap()]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
 }
+
+#[test]
+fn lint_query_reports_q001_and_q005_with_chq_positions() {
+    // The §5.4 acceptance path: the hazardous state query in the shipped
+    // batch is flagged with a file:line:col into the .chq, and the
+    // analyzer names the guard that would fix it.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let chq = dir.join("hospital_queries.chq");
+    let sdl = dir.join("hospital.sdl");
+    let out = chc(&["lint", "--query", chq.to_str().unwrap(), sdl.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[Q001]"), "{stdout}");
+    assert!(stdout.contains("hospital_queries.chq:22:44"), "{stdout}");
+    assert!(stdout.contains("[Q005]"), "{stdout}");
+    assert!(stdout.contains("`not in Tubercular_Patient`"), "{stdout}");
+    // The guarded variant of the same query draws no warnings at all,
+    // only discharged-check notes.
+    assert!(!stdout.contains("warning["), "{stdout}");
+}
+
+#[test]
+fn shipped_query_batches_sweep_clean_under_deny_warnings() {
+    // The CI job runs `chc lint --query <batch> <schema> --deny warnings`
+    // over every examples/data/*_queries.chq; guard that contract here.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let mut swept = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let chq = entry.unwrap().path();
+        let Some(name) = chq.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix("_queries.chq") else {
+            continue;
+        };
+        let sdl = dir.join(format!("{stem}.sdl"));
+        let out = chc(&[
+            "lint",
+            "--query",
+            chq.to_str().unwrap(),
+            sdl.to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ]);
+        assert!(
+            out.status.success(),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        swept += 1;
+    }
+    assert!(swept >= 2, "expected at least two shipped query batches");
+}
+
+#[test]
+fn lint_query_accepts_an_ad_hoc_string() {
+    let schema = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data/hospital.sdl");
+    let p = schema.to_str().unwrap();
+    let q = "for p in Patient emit p.treatedAt.location.state";
+    let out = chc(&["lint", p, "--query", q]);
+    assert!(out.status.success(), "warnings alone keep exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[Q001]"), "{stdout}");
+    assert!(stdout.contains("<query>:1:"), "{stdout}");
+    // …but a --deny warnings run fails on it.
+    let out = chc(&["lint", p, "--query", q, "--deny", "warnings"]);
+    assert!(!out.status.success());
+    // Allowing the code suppresses it again.
+    let out = chc(&["lint", p, "--query", q, "--deny", "warnings", "--allow", "Q001"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn lint_query_json_unifies_schema_and_query_findings() {
+    let schema = write_schema("mixed.sdl", NOOP);
+    let out = chc(&[
+        "lint",
+        schema.to_str().unwrap(),
+        "--query",
+        "for p in Person emit p.age",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed = chc_obs::json::parse(stdout.trim()).expect("valid JSON");
+    let findings = parsed.get("findings").and_then(|v| v.as_array()).unwrap();
+    let kind_of = |f: &chc_obs::json::JsonValue| {
+        f.get("kind").and_then(|v| v.as_str()).unwrap().to_string()
+    };
+    // The L005 schema finding and the Q004 discharged-check note arrive
+    // in one report, distinguished by `kind`.
+    assert!(findings.iter().any(|f| kind_of(f) == "schema"), "{stdout}");
+    assert!(findings.iter().any(|f| kind_of(f) == "query"), "{stdout}");
+    for f in findings {
+        match kind_of(f).as_str() {
+            "schema" => assert!(f.get("file").is_none(), "{stdout}"),
+            _ => {
+                assert_eq!(f.get("file").and_then(|v| v.as_str()), Some("<query>"));
+                assert!(f.get("query").and_then(|v| v.as_f64()).is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn lint_query_parse_errors_point_into_the_batch() {
+    let schema = write_schema("qparse.sdl", CLEAN);
+    let out = chc(&[
+        "lint",
+        schema.to_str().unwrap(),
+        "--query",
+        "for p in Nonexistent emit p.treatedBy",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("<query>:1:10"), "{stderr}");
+    assert!(stderr.contains("Nonexistent"), "{stderr}");
+}
