@@ -222,11 +222,36 @@ pub struct Row {
     pub verdict: Verdict,
 }
 
+/// One row of the counter-snapshot diff: a named work counter from the
+/// fixed reference workload, on each side of the comparison. Counters
+/// are exact (no timing), so any delta is a real behavior change — this
+/// is how work regressions stay visible when wall-clock noise masks
+/// them. Informational: counter drift never fails the gate by itself,
+/// because intentional behavior changes legitimately move work counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRow {
+    /// Counter name (e.g. `subtype.queries`).
+    pub name: String,
+    /// Baseline value, if the baseline snapshot has this counter.
+    pub baseline: Option<u64>,
+    /// Fresh value, if the fresh snapshot has this counter.
+    pub fresh: Option<u64>,
+}
+
+impl CounterRow {
+    /// True when the two sides disagree (including one side missing).
+    pub fn changed(&self) -> bool {
+        self.baseline != self.fresh
+    }
+}
+
 /// The result of comparing a fresh run against a baseline.
 #[derive(Debug, Clone)]
 pub struct Comparison {
     /// Baseline-order rows, then any new benches.
     pub rows: Vec<Row>,
+    /// Counter-snapshot diff over the union of both snapshots' names.
+    pub counters: Vec<CounterRow>,
 }
 
 impl Comparison {
@@ -277,6 +302,49 @@ impl Comparison {
                 r.threshold * 100.0,
                 verdict
             );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters (fixed reference workload; exact, informational):");
+            let name_width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            let _ = writeln!(
+                out,
+                "{:<name_width$}  {:>12}  {:>12}  delta",
+                "name", "baseline", "fresh"
+            );
+            for c in &self.counters {
+                let fmt_opt = |v: Option<u64>| match v {
+                    Some(v) => v.to_string(),
+                    None => "-".to_string(),
+                };
+                let delta = match (c.baseline, c.fresh) {
+                    (Some(b), Some(f)) if b == f => "=".to_string(),
+                    (Some(b), Some(f)) => {
+                        let diff = f as i128 - b as i128;
+                        if b > 0 {
+                            format!("{diff:+} ({:+.1}%) CHANGED", 100.0 * diff as f64 / b as f64)
+                        } else {
+                            format!("{diff:+} CHANGED")
+                        }
+                    }
+                    (None, Some(_)) => "new CHANGED".to_string(),
+                    (Some(_), None) => "gone CHANGED".to_string(),
+                    (None, None) => "=".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<name_width$}  {:>12}  {:>12}  {}",
+                    c.name,
+                    fmt_opt(c.baseline),
+                    fmt_opt(c.fresh),
+                    delta
+                );
+            }
         }
         out
     }
@@ -331,7 +399,22 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, default_threshold: f64) ->
             });
         }
     }
-    Comparison { rows }
+    let mut names: Vec<&String> = baseline.counters.keys().collect();
+    for name in fresh.counters.keys() {
+        if !baseline.counters.contains_key(name) {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let counters = names
+        .into_iter()
+        .map(|name| CounterRow {
+            name: name.clone(),
+            baseline: baseline.counters.get(name).copied(),
+            fresh: fresh.counters.get(name).copied(),
+        })
+        .collect();
+    Comparison { rows, counters }
 }
 
 #[cfg(test)]
@@ -444,6 +527,41 @@ mod tests {
         // New benches alone never fail the gate.
         let cmp = compare(&doc(vec![]), &fresh, DEFAULT_THRESHOLD);
         assert!(!cmp.failed());
+    }
+
+    #[test]
+    fn counter_diff_covers_union_and_flags_changes() {
+        let mut base = doc(vec![entry("g/a", 100.0, 95.0, 110.0, None)]);
+        base.counters.insert("subtype.queries".to_string(), 100);
+        base.counters.insert("check.joint_sat_calls".to_string(), 40);
+        base.counters.insert("gone.counter".to_string(), 7);
+        let mut fresh = doc(vec![entry("g/a", 100.0, 95.0, 110.0, None)]);
+        fresh.counters.insert("subtype.queries".to_string(), 100);
+        fresh.counters.insert("check.joint_sat_calls".to_string(), 55);
+        fresh.counters.insert("new.counter".to_string(), 3);
+        let cmp = compare(&base, &fresh, DEFAULT_THRESHOLD);
+        let by_name = |n: &str| cmp.counters.iter().find(|c| c.name == n).unwrap();
+        assert!(!by_name("subtype.queries").changed());
+        assert!(by_name("check.joint_sat_calls").changed());
+        assert_eq!(by_name("gone.counter").fresh, None);
+        assert_eq!(by_name("new.counter").baseline, None);
+        let text = cmp.render();
+        assert!(text.contains("counters"), "{text}");
+        assert!(text.contains("+15 (+37.5%) CHANGED"), "{text}");
+        assert!(text.contains("new CHANGED"), "{text}");
+        assert!(text.contains("gone CHANGED"), "{text}");
+        // Unchanged counters render as `=` and counter drift alone never
+        // fails the gate.
+        assert!(!cmp.failed());
+    }
+
+    #[test]
+    fn empty_counter_snapshots_render_no_counter_table() {
+        let base = doc(vec![entry("g/a", 100.0, 95.0, 110.0, None)]);
+        let fresh = doc(vec![entry("g/a", 100.0, 95.0, 110.0, None)]);
+        let cmp = compare(&base, &fresh, DEFAULT_THRESHOLD);
+        assert!(cmp.counters.is_empty());
+        assert!(!cmp.render().contains("counters"));
     }
 
     #[test]

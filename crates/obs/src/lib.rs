@@ -66,7 +66,7 @@ mod stats;
 pub mod trace;
 
 pub use events::{AuditRecorder, Event, EventLevel, FieldValue};
-pub use stats::{HistogramSummary, SpanNode, StatsRecorder};
+pub use stats::{Histogram, HistogramSummary, SpanNode, StatsRecorder};
 pub use trace::{FanoutRecorder, TraceEvent, TraceEventKind, TraceRecorder};
 
 use std::cell::RefCell;

@@ -128,3 +128,16 @@ pub const SPAN_CLI_LINT: &str = "cli.lint";
 pub const SPAN_CLI_QUERY: &str = "cli.query";
 /// Span: parsing + compiling the input schema.
 pub const SPAN_CLI_COMPILE: &str = "cli.compile";
+
+// --- chc-workloads load driver ---
+
+/// Span: the `load` command.
+pub const SPAN_CLI_LOAD: &str = "cli.load";
+/// Span: one whole `chc_workloads::driver::run_load` run.
+pub const SPAN_LOAD_RUN: &str = "load.run";
+/// Operations completed by the load driver, per run.
+pub const LOAD_OPS: &str = "load.ops";
+/// Operations whose outcome was a failure (validation violations, …).
+pub const LOAD_FAILURES: &str = "load.failures";
+/// Batched virtual-extent refreshes paid by write operations.
+pub const LOAD_VIRTUAL_REFRESHES: &str = "load.virtual_refreshes";

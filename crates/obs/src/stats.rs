@@ -41,16 +41,28 @@ impl SpanNode {
     }
 }
 
-/// Fixed-size log₂-bucketed histogram: enough for "how big are the
-/// propagation fan-outs" questions without any allocation per sample.
+/// Sub-buckets per power of two: 16 linear slots, bounding the relative
+/// bucketing error at 1/16 (6.25%).
+const SUB_BUCKETS: usize = 16;
+/// log₂ of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+/// One exact region (values `0..SUB_BUCKETS`) plus 60 log-linear majors
+/// covering the rest of the `u64` range.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// A fixed-size log-linear histogram (HDR-style): values below
+/// [`SUB_BUCKETS`] are counted exactly, larger values land in one of
+/// [`SUB_BUCKETS`] linear sub-buckets per power of two, so every
+/// percentile estimate is within 1/16 (6.25%) of the true sample. No
+/// allocation per sample; two histograms [`merge`](Histogram::merge)
+/// bucket-by-bucket, which is how per-worker latency recorders combine.
 #[derive(Debug, Clone)]
-struct Histogram {
+pub struct Histogram {
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
-    /// `buckets[i]` counts samples with `bit_length(value) == i`.
-    buckets: [u64; 65],
+    buckets: Vec<u64>,
 }
 
 impl Default for Histogram {
@@ -60,13 +72,43 @@ impl Default for Histogram {
             sum: 0,
             min: 0,
             max: 0,
-            buckets: [0; 65],
+            buckets: vec![0; NUM_BUCKETS],
         }
     }
 }
 
+/// Bucket index for a value: exact below [`SUB_BUCKETS`], log-linear
+/// above (leading bit picks the major, the next [`SUB_BITS`] bits the
+/// sub-bucket).
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let major = 63 - value.leading_zeros(); // ≥ SUB_BITS
+    let sub = ((value >> (major - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (major - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// Largest value mapping to bucket `i` (inclusive upper bound).
+fn bucket_top(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let major = (i / SUB_BUCKETS - 1) as u32 + SUB_BITS;
+    let sub = (i % SUB_BUCKETS) as u64;
+    let width = 1u64 << (major - SUB_BITS);
+    let lower = (1u64 << major) + sub * width;
+    lower + (width - 1)
+}
+
 impl Histogram {
-    fn record(&mut self, value: u64) {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -76,10 +118,37 @@ impl Histogram {
         }
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
-        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+        self.buckets[bucket_index(value)] += 1;
     }
 
-    fn summary(&self) -> HistogramSummary {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds `other` into `self`, bucket by bucket. Merging per-worker
+    /// histograms then summarizing equals summarizing one histogram fed
+    /// every sample — the property multi-threaded recorders rely on.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// The percentile read-out.
+    pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
             sum: self.sum,
@@ -90,18 +159,27 @@ impl Histogram {
             } else {
                 self.sum as f64 / self.count as f64
             },
+            p10: self.percentile(0.10),
             p50: self.percentile(0.50),
             p95: self.percentile(0.95),
             p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
         }
     }
 
-    /// Upper-bound percentile estimate from the log₂ buckets: the value
-    /// returned is the top of the bucket holding the p-th sample,
-    /// clamped into `[min, max]` — exact for 0/1-valued samples, within
-    /// 2× otherwise, which is all the power-of-two questions ("did the
-    /// fan-out tail blow up?") need.
-    fn percentile(&self, p: f64) -> u64 {
+    /// Nearest-rank percentile estimate from the log-linear buckets.
+    ///
+    /// The rule, also documented on [`HistogramSummary`]: the p-th
+    /// percentile is the upper bound of the bucket holding sample number
+    /// `ceil(p·n)` (clamped to `[1, n]`), clamped into `[min, max]`.
+    /// Exact for values below [`SUB_BUCKETS`], within 1/16 (6.25%)
+    /// otherwise. At small sample counts the nearest-rank rule pins tail
+    /// percentiles to the maximum by construction — `ceil(p·n) = n`
+    /// whenever `n < 1/(1−p)` — so p95 needs n ≥ 20, p99 needs n ≥ 100,
+    /// and p99.9 needs n ≥ 1000 before they can report anything below
+    /// `max`. The clamp keeps `min ≤ p50 ≤ p95 ≤ p99 ≤ p99.9 ≤ max` at
+    /// every sample count, including n < 4.
+    pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -110,14 +188,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let top = if i == 0 {
-                    0
-                } else if i >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
-                return top.clamp(self.min, self.max);
+                return bucket_top(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -125,6 +196,13 @@ impl Histogram {
 }
 
 /// Read-out of one histogram.
+///
+/// Percentiles follow the nearest-rank rule (sample `ceil(p·n)`,
+/// reported as its bucket's inclusive upper bound, clamped into
+/// `[min, max]`). Small sample counts therefore collapse tail
+/// percentiles onto `max` — see [`Histogram::percentile`] for the exact
+/// thresholds — but the ordering `min ≤ p50 ≤ p95 ≤ p99 ≤ p999 ≤ max`
+/// holds at every `n`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of recorded samples.
@@ -137,12 +215,26 @@ pub struct HistogramSummary {
     pub max: u64,
     /// Mean sample, or 0.0 if empty.
     pub mean: f64,
+    /// 10th-percentile estimate: the robust fast-path latency. Unlike
+    /// `min` (a single extreme sample), this shifts with the whole
+    /// distribution, which is what regression gates need.
+    pub p10: u64,
     /// Median estimate (upper bucket bound, clamped to `[min, max]`).
     pub p50: u64,
     /// 95th-percentile estimate (same estimator as `p50`).
     pub p95: u64,
     /// 99th-percentile estimate (same estimator as `p50`).
     pub p99: u64,
+    /// 99.9th-percentile estimate (same estimator as `p50`).
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// The 99.9th percentile — an accessor mirroring the field, for
+    /// callers generic over "which percentile" by method name.
+    pub fn p999(&self) -> u64 {
+        self.p999
+    }
 }
 
 #[derive(Debug, Default)]
@@ -240,8 +332,8 @@ impl StatsRecorder {
         for (name, h) in &inner.histograms {
             let s = h.summary();
             out.push_str(&format!(
-                "{name:width$}  n={} sum={} min={} mean={:.1} p50={} p95={} p99={} max={}\n",
-                s.count, s.sum, s.min, s.mean, s.p50, s.p95, s.p99, s.max
+                "{name:width$}  n={} sum={} min={} mean={:.1} p50={} p95={} p99={} p999={} max={}\n",
+                s.count, s.sum, s.min, s.mean, s.p50, s.p95, s.p99, s.p999, s.max
             ));
         }
         out
@@ -273,6 +365,7 @@ impl StatsRecorder {
                 ("p50", JsonValue::number(s.p50 as f64)),
                 ("p95", JsonValue::number(s.p95 as f64)),
                 ("p99", JsonValue::number(s.p99 as f64)),
+                ("p999", JsonValue::number(s.p999 as f64)),
                 ("max", JsonValue::number(s.max as f64)),
             ]);
             out.push_str(&obj.render());
@@ -426,12 +519,12 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 10);
         assert!((s.mean - 4.0).abs() < 1e-9);
-        // Percentiles are upper-bucket-bound estimates, ordered and
-        // clamped into [min, max]: samples 1,2,3,4,10 → the 3rd sample
-        // (p50) sits in bucket [2,3], the 5th (p95/p99) in [8,15]→max.
+        // Values below SUB_BUCKETS are counted exactly: the 3rd sample
+        // (p50) is 3; the 5th (p95/p99/p999, n < 20) is the max.
         assert_eq!(s.p50, 3);
         assert_eq!(s.p95, 10);
         assert_eq!(s.p99, 10);
+        assert_eq!(s.p999, 10);
         assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
@@ -442,10 +535,12 @@ mod tests {
             r.histogram("u", v);
         }
         let s = r.histogram_summary("u").unwrap();
-        // p50 of 0..999 lands in the [256,511] bucket; the estimator
-        // reports the bucket top.
-        assert_eq!(s.p50, 511);
-        assert_eq!(s.p95, 999); // bucket top 1023 clamps to max
+        // Log-linear buckets keep every estimate within 1/16 of the true
+        // nearest-rank sample (499, 949, 989, 999 here).
+        assert_eq!(s.p50, 511); // bucket [496, 511]
+        assert_eq!(s.p95, 959); // bucket [928, 959]
+        assert_eq!(s.p99, 991); // bucket [960, 991]
+        assert_eq!(s.p999, 999); // bucket top 1023 clamps to max
         let r2 = StatsRecorder::new();
         for _ in 0..100 {
             r2.histogram("c", 7);
@@ -456,6 +551,73 @@ mod tests {
         r3.histogram("zero", 0);
         let s3 = r3.histogram_summary("zero").unwrap();
         assert_eq!((s3.p50, s3.p99), (0, 0));
+    }
+
+    #[test]
+    fn small_sample_counts_clamp_tails_onto_max() {
+        // The documented n < 4 rule: nearest-rank pins p95/p99/p999 to
+        // the maximum, and the [min, max] clamp keeps the ordering.
+        for samples in [&[7u64][..], &[3, 900][..], &[1, 50, 2_000][..]] {
+            let mut h = Histogram::new();
+            for &v in samples {
+                h.record(v);
+            }
+            let s = h.summary();
+            let max = *samples.iter().max().unwrap();
+            assert_eq!(s.p95, max, "{samples:?}");
+            assert_eq!(s.p99, max, "{samples:?}");
+            assert_eq!(s.p999, max, "{samples:?}");
+            assert_eq!(s.p999(), s.p999);
+            assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p999 <= s.max);
+        }
+    }
+
+    #[test]
+    fn bucket_error_is_bounded_and_merge_equals_combined() {
+        // Relative error bound: every percentile estimate over a wide
+        // value range stays within 1/16 above the true sample.
+        let mut h = Histogram::new();
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut values = Vec::new();
+        for _ in 0..10_000 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (rng >> 33) % 5_000_000;
+            h.record(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        for (p, got) in [
+            (0.50, h.percentile(0.50)),
+            (0.95, h.percentile(0.95)),
+            (0.99, h.percentile(0.99)),
+            (0.999, h.percentile(0.999)),
+        ] {
+            let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            assert!(got >= truth, "p{p}: {got} < true {truth}");
+            assert!(
+                got as f64 <= truth as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "p{p}: {got} above error bound for true {truth}"
+            );
+        }
+        // Splitting the same stream across two histograms and merging
+        // yields identical summaries — the per-worker merge property.
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), h.summary());
+        // Merging into an empty histogram copies min/max.
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.summary(), a.summary());
     }
 
     #[test]

@@ -7,17 +7,24 @@
 //!   (experiments E1, E3, E8).
 //! * [`populate()`] — type-directed generic instance population.
 //! * [`rng`] — the dependency-free seeded PRNG behind all of the above.
+//! * [`driver`] — a closed/open-loop load harness over a [`driver::Target`]
+//!   (latency percentiles, throughput time-series, HTML report).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod driver;
 pub mod hospital;
 pub mod populate;
 pub mod randhier;
 pub mod rng;
 pub mod vignettes;
 
+pub use driver::{
+    hospital_target, parse_duration, run_load, LibraryTarget, LoadConfig, LoadSummary, MixSpec,
+    Mode, OpGenerator, OpKind, OpOutcome, Operation, StopRule, Target, TargetOptions,
+};
 pub use hospital::{build as build_hospital, HospitalDb, HospitalIds, HospitalParams};
 pub use populate::{populate, PopulateParams};
 pub use randhier::{

@@ -31,6 +31,14 @@ trap 'rm -f "$ndjson"' EXIT
 echo "==> cargo bench -q --offline -p chc-bench (results -> $ndjson)"
 CHC_BENCH_JSON="$ndjson" cargo bench -q --offline -p chc-bench
 
+# A fixed-op-count smoke load so `load/hospital/*` latency rows ride the
+# same gate as the micro-benches (chc-load/1 lines are bench-compatible).
+# Fixed ops — not a duration — so the sample count is run-invariant.
+echo "==> chc load smoke (results -> $ndjson)"
+cargo build -q --release --offline
+CHC_BENCH_JSON="$ndjson" ./target/release/chc load examples/data/hospital.sdl \
+    --ops "${CHC_LOAD_OPS:-2000}" --threads 2 --seed 42 --id hospital >/dev/null 2>&1
+
 echo "==> bench-diff collect"
 cargo run -q --offline -p chc-bench --bin bench-diff -- collect "$ndjson" "$fresh"
 

@@ -30,4 +30,14 @@ for chq in examples/data/*_queries.chq; do
     ./target/release/chc lint --query "$chq" "$sdl" --deny warnings
 done
 
+echo "==> chc load smoke: HTML report emitted and well-formed"
+report="$(mktemp "${TMPDIR:-/tmp}/chc-load-report.XXXXXX.html")"
+trap 'rm -f "$report"' EXIT
+./target/release/chc load examples/data/hospital.sdl examples/data/hospital.chd \
+    --ops 500 --threads 2 --seed 42 --report "$report" >/dev/null
+test -s "$report"
+iconv -f UTF-8 -t UTF-8 "$report" >/dev/null   # parses as UTF-8
+grep -q 'table class="summary"' "$report"      # has the summary table
+grep -q '<svg' "$report"                       # has the time-series charts
+
 echo "OK: all verification gates passed"

@@ -27,6 +27,16 @@
 //!                                        load instance data and validate it;
 //!                                        --audit-summary prints admissions
 //!                                        grouped by excuse (E11)
+//! chc load <schema.sdl> [data.chd] [--mix validate=70,query=20,insert=9,evolve=1]
+//!          [--threads N] [--duration 5s | --ops N] [--mode closed|open]
+//!          [--rate R] [--think D] [--seed N] [--epsilon F] [--populate N]
+//!          [--window D] [--report out.html] [--id NAME] [--hier classes=N,...]
+//!                                        run a mixed load against the schema:
+//!                                        latency percentiles per op type on
+//!                                        stderr, `chc-load/1` JSON lines
+//!                                        appended to $CHC_BENCH_JSON, and a
+//!                                        self-contained HTML report via
+//!                                        --report (docs/OBSERVABILITY.md)
 //! ```
 //!
 //! Global flags may appear anywhere, before or after the subcommand.
@@ -59,6 +69,7 @@ use excuses::query::{
 };
 use excuses::sdl::{compile_with_source, print_schema};
 use excuses::types::{cond_of, render_cond, render_tyset, EntityFacts, TypeContext};
+use excuses::workloads::{parse_duration, HierarchyParams, MixSpec, StopRule};
 
 /// Global observability flags, accepted anywhere on the command line.
 #[derive(Default)]
@@ -340,9 +351,261 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
     })
 }
 
+/// `chc load`'s own arguments, parsed by [`parse_load_args`].
+struct LoadArgs {
+    schema: Option<String>,
+    data: Option<String>,
+    mix: MixSpec,
+    threads: usize,
+    stop: Option<StopRule>,
+    open: bool,
+    rate: f64,
+    think: std::time::Duration,
+    seed: u64,
+    epsilon: f64,
+    populate: usize,
+    window: std::time::Duration,
+    report: Option<String>,
+    id: Option<String>,
+    hier: Option<HierarchyParams>,
+}
+
+/// Parses `--hier classes=60,supers=2,attrs=8,tokens=8,redefine=0.4,contradict=0.3,seed=7`;
+/// omitted keys keep the [`HierarchyParams`] defaults.
+fn parse_hier_spec(spec: &str) -> Result<HierarchyParams, String> {
+    let mut p = HierarchyParams::default();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--hier entry `{part}` is not `key=value`"))?;
+        let value = value.trim();
+        let int = || value.parse::<usize>().map_err(|e| format!("--hier {key}={value}: {e}"));
+        let float = || value.parse::<f64>().map_err(|e| format!("--hier {key}={value}: {e}"));
+        match key.trim() {
+            "classes" => p.classes = int()?,
+            "supers" => p.max_supers = int()?,
+            "attrs" => p.attrs = int()?,
+            "tokens" => p.tokens = int()?,
+            "redefine" => p.redefine_rate = float()?,
+            "contradict" => p.contradiction_rate = float()?,
+            "seed" => p.seed = value.parse().map_err(|e| format!("--hier seed={value}: {e}"))?,
+            other => {
+                return Err(format!(
+                    "unknown --hier key `{other}` (classes|supers|attrs|tokens|redefine|contradict|seed)"
+                ))
+            }
+        }
+    }
+    Ok(p)
+}
+
+fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
+    let mut la = LoadArgs {
+        schema: None,
+        data: None,
+        mix: MixSpec::default(),
+        threads: 1,
+        stop: None,
+        open: false,
+        rate: 1_000.0,
+        think: std::time::Duration::ZERO,
+        seed: 0xC_10AD,
+        epsilon: 0.05,
+        populate: 20,
+        window: std::time::Duration::ZERO,
+        report: None,
+        id: None,
+        hier: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--mix" => la.mix = MixSpec::parse(value_of("--mix")?)?,
+            "--threads" => {
+                la.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--duration" => {
+                la.stop = Some(StopRule::Duration(parse_duration(value_of("--duration")?)?))
+            }
+            "--ops" => {
+                la.stop = Some(StopRule::Ops(
+                    value_of("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+                ))
+            }
+            "--mode" => match value_of("--mode")?.as_str() {
+                "closed" => la.open = false,
+                "open" => la.open = true,
+                other => return Err(format!("--mode needs `closed` or `open`, got `{other}`")),
+            },
+            "--rate" => {
+                la.rate = value_of("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?;
+                la.open = true;
+            }
+            "--think" => la.think = parse_duration(value_of("--think")?)?,
+            "--seed" => {
+                la.seed = value_of("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--epsilon" => {
+                la.epsilon = value_of("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?;
+                if !(0.0..=1.0).contains(&la.epsilon) {
+                    return Err(format!("--epsilon must be in [0, 1], got {}", la.epsilon));
+                }
+            }
+            "--populate" => {
+                la.populate = value_of("--populate")?
+                    .parse()
+                    .map_err(|e| format!("--populate: {e}"))?
+            }
+            "--window" => la.window = parse_duration(value_of("--window")?)?,
+            "--report" => la.report = Some(value_of("--report")?.clone()),
+            "--id" => la.id = Some(value_of("--id")?.clone()),
+            "--hier" => la.hier = Some(parse_hier_spec(value_of("--hier")?)?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown load option `{other}`"))
+            }
+            other => {
+                if la.schema.is_none() {
+                    la.schema = Some(other.to_string());
+                } else if la.data.is_none() {
+                    la.data = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected load argument `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(la)
+}
+
+fn run_load_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use excuses::workloads::{generate, LibraryTarget, LoadConfig, Mode, TargetOptions};
+
+    let la = parse_load_args(args)?;
+
+    // Schema: a generated hierarchy (`--hier`) or a compiled .sdl file.
+    let (schema, default_id) = match (&la.hier, &la.schema) {
+        (Some(params), _) => (generate(params).schema, "hier".to_string()),
+        (None, Some(path)) => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let schema = {
+                let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
+                compile_with_source(&src, path).map_err(|e| format!("{path}: {e}"))?
+            };
+            let report = check(&schema);
+            if !report.is_ok() {
+                println!("{}", report.render(&schema));
+                return Err("schema has errors; fix it before load-testing".to_string());
+            }
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("load")
+                .to_string();
+            (schema, stem)
+        }
+        (None, None) => return Err("load needs a schema file or --hier".to_string()),
+    };
+
+    // Target: load a data file if given, else populate synthetically.
+    let opts = |missing: MissingPolicy| TargetOptions {
+        epsilon: la.epsilon,
+        validation: ValidationOptions {
+            semantics: Semantics::Correct,
+            missing,
+        },
+        ..TargetOptions::default()
+    };
+    let target = match &la.data {
+        Some(data_path) => {
+            let data_src =
+                std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let mut data = load_data(&v.schema, &data_src).map_err(|e| e.to_string())?;
+            refresh_virtual_extents(&mut data.store, &v);
+            let objects: Vec<_> = data.names.iter().map(|(_, oid)| *oid).collect();
+            // Source-file objects carry exactly the attributes the file
+            // declares, so missing values are violations (as in
+            // `chc validate`); populated objects below are always total.
+            LibraryTarget::new(v, data.store, objects, opts(MissingPolicy::Absent))
+        }
+        None => LibraryTarget::from_schema(&schema, la.populate, la.seed, opts(MissingPolicy::Vacuous))?,
+    };
+
+    let cfg = LoadConfig {
+        id: la.id.unwrap_or(default_id),
+        mix: la.mix,
+        mode: if la.open {
+            Mode::Open { threads: la.threads, rate: la.rate }
+        } else {
+            Mode::Closed { threads: la.threads, think: la.think }
+        },
+        stop: la.stop.unwrap_or(StopRule::Duration(std::time::Duration::from_secs(2))),
+        seed: la.seed,
+        window: la.window,
+        ..LoadConfig::default()
+    };
+    let summary = excuses::workloads::run_load(&target, &cfg);
+
+    // Accounting to stderr (the `chc query` convention), a one-line
+    // result to stdout, JSON lines to $CHC_BENCH_JSON, HTML to --report.
+    eprint!("{}", summary.render_text());
+    if let Ok(path) = std::env::var("CHC_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("CHC_BENCH_JSON={path}: {e}"))?;
+            f.write_all(summary.to_bench_lines().as_bytes())
+                .map_err(|e| format!("CHC_BENCH_JSON={path}: {e}"))?;
+        }
+    }
+    if let Some(path) = &la.report {
+        std::fs::write(path, excuses::workloads::driver::report::render_html(&summary))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    println!(
+        "load: {} ops in {:.2}s ({:.0} ops/s), p95 {} — {}",
+        summary.total_ops,
+        summary.elapsed.as_secs_f64(),
+        summary.throughput(),
+        format_ns_cli(summary.overall.p95),
+        match &la.report {
+            Some(p) => format!("report written to {p}"),
+            None => "no report file (--report <out.html>)".to_string(),
+        }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `1.2us`-style rendering for the stdout summary line.
+fn format_ns_cli(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
 fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] <check|lint|print|virtualize|explain|analyze|query|validate> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] <check|lint|print|virtualize|explain|analyze|query|validate|load> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
+    // `load` acquires its schema itself (`--hier` generates one instead
+    // of reading a file), so it skips the generic compile below.
+    if cmd == "load" {
+        let _span = chc_obs::span(chc_obs::names::SPAN_CLI_LOAD);
+        return run_load_cmd(&args[1..]);
+    }
     // `lint` takes its schema as a free positional among its own flags
     // (`chc lint --query q.chq schema.sdl` is valid); every other command
     // takes it as the first argument.

@@ -344,3 +344,67 @@ fn query_rejects_ill_typed_queries_with_a_failing_exit() {
     assert!(out.stdout.is_empty());
     assert!(String::from_utf8_lossy(&out.stderr).contains("type error"));
 }
+
+#[test]
+fn load_runs_a_mixed_workload_and_writes_all_three_sinks() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let schema = dir.join("hospital.sdl");
+    let data = dir.join("hospital.chd");
+    let tmp = std::env::temp_dir().join("chc-cli-tests");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let report = tmp.join("load-report.html");
+    let ndjson = tmp.join("load-bench.ndjson");
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&ndjson);
+    let out = Command::new(env!("CARGO_BIN_EXE_chc"))
+        .args([
+            "load",
+            schema.to_str().unwrap(),
+            data.to_str().unwrap(),
+            "--mix",
+            "validate=70,query=20,insert=9,evolve=1",
+            "--threads",
+            "2",
+            "--ops",
+            "400",
+            "--seed",
+            "11",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .env("CHC_BENCH_JSON", ndjson.to_str().unwrap())
+        .output()
+        .expect("chc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("400 ops"), "{stdout}");
+    // Sink 1: the stderr table with per-op percentiles.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needed in ["validate", "p99.9", "ops/s", "all"] {
+        assert!(stderr.contains(needed), "stderr missing {needed}: {stderr}");
+    }
+    // Sink 2: chc-load/1 lines appended to $CHC_BENCH_JSON.
+    let lines = std::fs::read_to_string(&ndjson).unwrap();
+    assert!(lines.contains("\"schema\":\"chc-load/1\""), "{lines}");
+    assert!(lines.contains("\"id\":\"load/hospital/all\""), "{lines}");
+    assert!(lines.contains("\"samples\":400"), "{lines}");
+    // Sink 3: the self-contained HTML report.
+    let html = std::fs::read_to_string(&report).unwrap();
+    assert!(html.contains("table class=\"summary\""), "report has no summary table");
+    assert!(html.contains("<svg"), "report has no charts");
+    assert!(!html.contains("<script"), "report must not need JS");
+}
+
+#[test]
+fn load_generates_a_hierarchy_and_rejects_bad_mixes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_chc"))
+        .args(["load", "--hier", "classes=30,seed=3", "--ops", "100", "--seed", "5"])
+        .output()
+        .expect("chc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("100 ops"));
+
+    let out = chc(&["load", "--hier", "classes=10", "--mix", "teleport=1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mix kind"));
+}
