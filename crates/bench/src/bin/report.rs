@@ -1,4 +1,4 @@
-//! Regenerates every experiment (E1–E10) as markdown tables.
+//! Regenerates every experiment (E1–E14) as markdown tables.
 //!
 //! ```text
 //! cargo run --release -p chc-bench --bin report            # all experiments
@@ -80,6 +80,9 @@ fn main() {
     }
     if want("E13") {
         e13();
+    }
+    if want("E14") {
+        e14();
     }
     if want("A1") {
         a1();
@@ -680,6 +683,66 @@ fn e13() {
          constraints per object), while ε moves the excuse branch rate rather than the \
          percentiles — excused checks cost the same as passing ones, the paper's §5.2 \
          claim carried to the online setting.\n"
+    );
+}
+
+/// Duplicate work and cost concentration in the checker, measured by the
+/// labeled-attribution recorder (the same one behind `chc profile`).
+fn e14() {
+    println!("## E14 — duplicate work and per-class cost concentration\n");
+    println!(
+        "A scoped `chc_obs::ProfileRecorder` around `check(sized_schema(n))` counts \
+         every subtype query and satisfiability call twice: once raw, once into a \
+         distinct-key seen-set. The ratio is the memoization headroom the checker \
+         leaves on the table; the hot-class column is where the wall time actually \
+         concentrates. Reproduce any row interactively with \
+         `chc profile check --hier classes=N,seed=S` (`S = 0xE1 + N`).\n"
+    );
+    println!(
+        "| classes | subtype.queries | distinct | dup ×| sat.calls | distinct | dup ×| top-5 hot classes (time share) |"
+    );
+    println!("|---:|---:|---:|---:|---:|---:|---:|:---|");
+    for &n in &[400usize, 800, 1600, 3200] {
+        let schema = sized_schema(n);
+        let profile = Arc::new(chc_obs::ProfileRecorder::new());
+        {
+            let _scope = chc_obs::scoped(profile.clone());
+            let report = check(&schema);
+            assert!(report.is_ok(), "sized schema checks clean");
+        }
+        let subtype = profile.counter_value(names::SUBTYPE_QUERIES);
+        let subtype_d = profile.counter_value(names::SUBTYPE_QUERIES_DISTINCT);
+        let sat = profile.counter_value(names::SAT_CALLS);
+        let sat_d = profile.counter_value(names::SAT_CALLS_DISTINCT);
+        let ratio = |t: u64, d: u64| if d == 0 { 1.0 } else { t as f64 / d as f64 };
+        let hot = profile
+            .labeled_sums(names::CHECK_CLASS_NANOS)
+            .map(|(entries, _)| entries)
+            .unwrap_or_default();
+        let total: u64 = hot.iter().map(|&(_, _, sum)| sum).sum();
+        let top5: Vec<String> = hot
+            .iter()
+            .take(5)
+            .map(|&(label, _, sum)| {
+                let share = if total == 0 { 0.0 } else { 100.0 * sum as f64 / total as f64 };
+                format!("{} {share:.1}%", schema.class_name(ClassId::from_raw(label as u32)))
+            })
+            .collect();
+        println!(
+            "| {n} | {subtype} | {subtype_d} | {:.1} | {sat} | {sat_d} | {:.1} | {} |",
+            ratio(subtype, subtype_d),
+            ratio(sat, sat_d),
+            top5.join(", "),
+        );
+    }
+    println!(
+        "\nThe duplicate ratio grows with schema size — deep hierarchies re-ask the \
+         same subtype question from every inheriting class — while distinct \
+         satisfiability keys grow only with the number of (class, attribute) sites \
+         that actually carry conditional constraints. Cost concentrates in the \
+         late, deep classes: the top five classes absorb a disproportionate share \
+         of checker time, which is exactly what `chc profile check` surfaces \
+         per-run.\n"
     );
 }
 

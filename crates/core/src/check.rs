@@ -54,6 +54,26 @@ pub fn check(schema: &Schema) -> CheckReport {
 /// the *locality* desideratum of §5).
 pub fn check_class(schema: &Schema, class: ClassId, report: &mut CheckReport) {
     chc_obs::counter(chc_obs::names::CHECK_CLASSES, 1);
+    // Attribution: while a recorder is on, everything this class's check
+    // does downstream (subtype queries, sat calls, contradictions) is
+    // labeled with the class id, and its wall time feeds the per-class
+    // histogram behind `chc profile`'s time-share column.
+    if chc_obs::enabled() {
+        let _label = chc_obs::label_scope(class.index() as u64);
+        let start = std::time::Instant::now();
+        check_class_inner(schema, class, report);
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        chc_obs::labeled_histogram(
+            chc_obs::names::CHECK_CLASS_NANOS,
+            class.index() as u64,
+            nanos,
+        );
+        return;
+    }
+    check_class_inner(schema, class, report);
+}
+
+fn check_class_inner(schema: &Schema, class: ClassId, report: &mut CheckReport) {
     // Part 1: each locally declared attribute vs. each inherited constraint.
     for decl in &schema.class(class).attrs {
         check_declaration(schema, class, decl.name, report);
@@ -89,6 +109,7 @@ fn check_declaration(schema: &Schema, class: ClassId, attr: Sym, report: &mut Ch
 
         if contradiction {
             chc_obs::counter(chc_obs::names::CHECK_CONTRADICTIONS, 1);
+            chc_obs::labeled_counter_scoped(chc_obs::names::CHECK_CONTRADICTIONS, 1);
         }
         if !contradiction {
             // Proper specialization; a local excuse for it is redundant.

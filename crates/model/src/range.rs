@@ -35,7 +35,7 @@ pub struct Excuse {
 }
 
 /// A named field of an in-line record type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FieldSpec {
     /// Field name.
     pub name: Sym,
@@ -44,7 +44,7 @@ pub struct FieldSpec {
 }
 
 /// The range of values an attribute may take.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Range {
     /// A closed integer interval, e.g. `16..65`.
     Int {
@@ -159,6 +159,18 @@ impl Range {
         // One query per top-level decision; record-field recursion goes
         // through `subsumes_inner` so nested fields don't inflate E3/E8.
         chc_obs::counter(chc_obs::names::SUBTYPE_QUERIES, 1);
+        if chc_obs::enabled() {
+            chc_obs::labeled_counter_scoped(chc_obs::names::SUBTYPE_QUERIES, 1);
+            // Structural hash of the (sup, sub) pair for the
+            // duplicate-work counter; the tag keeps range pairs disjoint
+            // from `chc_types`' Ty/CondTy pairs under the same name.
+            use std::hash::{Hash as _, Hasher as _};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            0x52u8.hash(&mut h);
+            self.hash(&mut h);
+            sub.hash(&mut h);
+            chc_obs::distinct(chc_obs::names::SUBTYPE_QUERIES_DISTINCT, h.finish());
+        }
         self.subsumes_inner(schema, sub)
     }
 
@@ -293,7 +305,7 @@ impl Range {
 
 /// The full specification an attribute declaration attaches: a range plus
 /// the excuse clauses of §5.1.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AttrSpec {
     /// The constraint on the attribute's values.
     pub range: Range,

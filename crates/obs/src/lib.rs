@@ -11,6 +11,9 @@
 //!   ([`span`]),
 //! * **structured audit events** with leveled key-value payloads
 //!   ([`event`], [`event_with`]) — see [`events`],
+//! * **labeled metrics** and **distinct-work tracking** for cost
+//!   attribution ([`labeled_counter`], [`labeled_histogram`],
+//!   [`distinct`], [`label_scope`]) — see [`profile`],
 //!
 //! behind a cheap [`Recorder`] trait. When no recorder is installed
 //! (the default), every instrumentation call is a single relaxed atomic
@@ -62,10 +65,14 @@
 pub mod events;
 pub mod json;
 pub mod names;
+pub mod profile;
+pub mod sampler;
 mod stats;
 pub mod trace;
 
 pub use events::{AuditRecorder, Event, EventLevel, FieldValue};
+pub use profile::{LabeledSnapshot, ProfileRecorder};
+pub use sampler::SpanSampler;
 pub use stats::{Histogram, HistogramSummary, SpanNode, StatsRecorder};
 pub use trace::{FanoutRecorder, TraceEvent, TraceEventKind, TraceRecorder};
 
@@ -93,6 +100,28 @@ pub trait Recorder: Send + Sync {
     /// audit stream; [`AuditRecorder`] overrides this to retain it.
     fn event(&self, event: &events::Event) {
         let _ = event;
+    }
+    /// Add `delta` to the named counter *under a label* — a cheap
+    /// interned `u64` key such as a class id, a query id, or a
+    /// structural pair hash. Defaults to discarding the observation;
+    /// [`ProfileRecorder`] overrides this to build per-label
+    /// attributions with bounded cardinality.
+    fn labeled_counter(&self, name: &'static str, label: u64, delta: u64) {
+        let _ = (name, label, delta);
+    }
+    /// Record one observation of `value` in the named histogram under a
+    /// label. Defaults to discarding it; see [`Recorder::labeled_counter`].
+    fn labeled_histogram(&self, name: &'static str, label: u64, value: u64) {
+        let _ = (name, label, value);
+    }
+    /// A distinct-work observation: the instrumented site performed a
+    /// unit of work identified by `key` (typically a structural hash of
+    /// its inputs). Recorders that track duplicate work keep a compact
+    /// seen-set per name and add 1 to the counter `name` only the first
+    /// time each key is seen, so `foo.distinct` can sit next to the
+    /// plain total `foo`. Defaults to discarding the observation.
+    fn distinct(&self, name: &'static str, key: u64) {
+        let _ = (name, key);
     }
 }
 
@@ -184,6 +213,82 @@ pub fn counter(name: &'static str, delta: u64) {
 pub fn histogram(name: &'static str, value: u64) {
     if enabled() {
         dispatch(|r| r.histogram(name, value));
+    }
+}
+
+/// Adds `delta` to the named counter under `label` (class id, query id,
+/// pair hash, …) on the active recorder. One relaxed load when disabled.
+#[inline]
+pub fn labeled_counter(name: &'static str, label: u64, delta: u64) {
+    if enabled() {
+        dispatch(|r| r.labeled_counter(name, label, delta));
+    }
+}
+
+/// Records `value` into the named histogram under `label` on the active
+/// recorder. One relaxed load when disabled.
+#[inline]
+pub fn labeled_histogram(name: &'static str, label: u64, value: u64) {
+    if enabled() {
+        dispatch(|r| r.labeled_histogram(name, label, value));
+    }
+}
+
+/// Reports a distinct-work observation: recorders that track duplicate
+/// work bump the counter `name` only the first time they see `key`.
+/// One relaxed load when disabled.
+#[inline]
+pub fn distinct(name: &'static str, key: u64) {
+    if enabled() {
+        dispatch(|r| r.distinct(name, key));
+    }
+}
+
+thread_local! {
+    /// The attribution-label stack for this thread; see [`label_scope`].
+    static LABELS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`label_scope`]; dropping it pops the label.
+#[must_use = "the label is popped when this guard drops"]
+pub struct LabelGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Pushes an attribution label for the current thread until the guard
+/// drops. Deep instrumentation sites that cannot see what they work
+/// *for* (the subtype decision, the sat procedure) read the innermost
+/// label via [`current_label`] so their counters attribute to the class
+/// (or query) being processed. Callers should gate on [`enabled`] — the
+/// stack is maintained unconditionally.
+pub fn label_scope(label: u64) -> LabelGuard {
+    LABELS.with(|l| l.borrow_mut().push(label));
+    LabelGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for LabelGuard {
+    fn drop(&mut self) {
+        LABELS.with(|l| l.borrow_mut().pop());
+    }
+}
+
+/// The innermost attribution label pushed by [`label_scope`], if any.
+#[inline]
+pub fn current_label() -> Option<u64> {
+    LABELS.with(|l| l.borrow().last().copied())
+}
+
+/// Adds `delta` to the labeled series of `name` under the innermost
+/// [`label_scope`] label; a no-op when no label scope is active (or no
+/// recorder is installed). One relaxed load when disabled.
+#[inline]
+pub fn labeled_counter_scoped(name: &'static str, delta: u64) {
+    if enabled() {
+        if let Some(label) = current_label() {
+            dispatch(|r| r.labeled_counter(name, label, delta));
+        }
     }
 }
 

@@ -17,12 +17,32 @@ pub const CHECK_EXCUSES_RESOLVED: &str = "check.excuses_resolved";
 pub const CHECK_JOINT_SAT_CALLS: &str = "check.joint_sat_calls";
 /// Span: one whole `check(schema)` run.
 pub const SPAN_CHECK_SCHEMA: &str = "check.schema";
+/// Labeled histogram: nanoseconds spent checking one class; the label is
+/// the class id. Only emitted while a recorder is installed; the
+/// per-class time shares in `chc profile` come from here.
+pub const CHECK_CLASS_NANOS: &str = "check.class.nanos";
 
-// --- chc-model / chc-types (E2, E3, E8) ---
+// --- chc-core::sat (E14) ---
+
+/// Joint-admissibility decisions (`common_value_witness_of` calls),
+/// counted at the decision procedure itself — unlike
+/// [`CHECK_JOINT_SAT_CALLS`], which counts the checker's call sites,
+/// this also covers lint and `explain` traffic.
+pub const SAT_CALLS: &str = "sat.calls";
+/// Distinct joint-admissibility decisions, deduped by the
+/// `(class, attr)` pair. See [`SUBTYPE_QUERIES_DISTINCT`].
+pub const SAT_CALLS_DISTINCT: &str = "sat.calls.distinct";
+
+// --- chc-model / chc-types (E2, E3, E8, E14) ---
 
 /// Subtype/subsumption decisions, over both the range lattice
 /// (`Range::subsumes`) and the conditional-type lattice (`subtype`).
 pub const SUBTYPE_QUERIES: &str = "subtype.queries";
+/// Distinct subtype/subsumption decisions: [`SUBTYPE_QUERIES`] deduped
+/// by a structural hash of the `(sub, sup)` pair. The gap between the
+/// two is the duplicate-work ratio E14 tabulates — the measured case
+/// for memoizing the decision procedure.
+pub const SUBTYPE_QUERIES_DISTINCT: &str = "subtype.queries.distinct";
 /// `AttrTypeCache` lookups that hit.
 pub const TYPECACHE_HITS: &str = "typecache.hits";
 /// `AttrTypeCache` lookups that missed.
@@ -128,6 +148,8 @@ pub const SPAN_CLI_LINT: &str = "cli.lint";
 pub const SPAN_CLI_QUERY: &str = "cli.query";
 /// Span: parsing + compiling the input schema.
 pub const SPAN_CLI_COMPILE: &str = "cli.compile";
+/// Span: the `profile` command (workload under attribution + sampler).
+pub const SPAN_CLI_PROFILE: &str = "cli.profile";
 
 // --- chc-workloads load driver ---
 

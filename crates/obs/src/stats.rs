@@ -241,6 +241,9 @@ impl HistogramSummary {
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    /// Per-name seen-sets backing [`Recorder::distinct`]; the resulting
+    /// first-sighting counts live in `counters` like any other counter.
+    seen: BTreeMap<&'static str, crate::profile::SeenSet>,
     /// Completed root spans.
     roots: Vec<SpanNode>,
     /// Stack of open spans, innermost last.
@@ -465,6 +468,16 @@ impl Recorder for StatsRecorder {
             None => inner.roots.push(node),
         }
     }
+
+    fn distinct(&self, name: &'static str, key: u64) {
+        let mut inner = self.inner.lock().expect("obs stats lock");
+        if inner.seen.entry(name).or_default().insert(key) {
+            *inner.counters.entry(name).or_insert(0) += 1;
+            if let Some(open) = inner.open.last_mut() {
+                *open.counters.entry(name).or_insert(0) += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -667,6 +680,26 @@ mod tests {
         assert!(
             per_call < 200.0,
             "disabled counter cost {per_call:.1}ns/call"
+        );
+        // The attribution entry points must ride the same fast path: one
+        // relaxed load, no label hashing, no seen-set work when disabled.
+        let start = std::time::Instant::now();
+        for i in 0..iters {
+            crate::labeled_counter("noop.smoke", i, i & 1);
+        }
+        let per_call = start.elapsed().as_nanos() as f64 / iters as f64;
+        assert!(
+            per_call < 200.0,
+            "disabled labeled counter cost {per_call:.1}ns/call"
+        );
+        let start = std::time::Instant::now();
+        for i in 0..iters {
+            crate::distinct("noop.smoke", i);
+        }
+        let per_call = start.elapsed().as_nanos() as f64 / iters as f64;
+        assert!(
+            per_call < 200.0,
+            "disabled distinct cost {per_call:.1}ns/call"
         );
     }
 

@@ -382,6 +382,24 @@ impl Recorder for FanoutRecorder {
             s.event(event);
         }
     }
+
+    fn labeled_counter(&self, name: &'static str, label: u64, delta: u64) {
+        for s in &self.sinks {
+            s.labeled_counter(name, label, delta);
+        }
+    }
+
+    fn labeled_histogram(&self, name: &'static str, label: u64, value: u64) {
+        for s in &self.sinks {
+            s.labeled_histogram(name, label, value);
+        }
+    }
+
+    fn distinct(&self, name: &'static str, key: u64) {
+        for s in &self.sinks {
+            s.distinct(name, key);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,10 @@ pub struct ExecResult {
 /// Checks the type-guided compiler eliminates are exactly this work saved.
 pub fn execute(schema: &Schema, store: &ExtentStore, plan: &Plan) -> ExecResult {
     let _span = chc_obs::span(chc_obs::names::SPAN_QUERY_EXECUTE);
+    // Attribute everything this execution does (its own counters below,
+    // plus the subtype queries the runtime safety checks trigger) to the
+    // scanned class — `chc profile query` groups cost by that label.
+    let _label = chc_obs::enabled().then(|| chc_obs::label_scope(plan.class.index() as u64));
     let mut stats = ExecStats::default();
     let mut values = Vec::new();
     'row: for oid in store.extent(plan.class) {
@@ -110,6 +114,16 @@ pub fn execute(schema: &Schema, store: &ExtentStore, plan: &Plan) -> ExecResult 
         chc_obs::counter(names::QUERY_ROWS_SCANNED, stats.rows_scanned as u64);
         chc_obs::counter(names::QUERY_ROWS_EMITTED, stats.rows_emitted as u64);
         chc_obs::counter(names::QUERY_CHECKS_EXECUTED, stats.checks_executed as u64);
+        chc_obs::labeled_counter(
+            names::QUERY_ROWS_SCANNED,
+            plan.class.index() as u64,
+            stats.rows_scanned as u64,
+        );
+        chc_obs::labeled_counter(
+            names::QUERY_CHECKS_EXECUTED,
+            plan.class.index() as u64,
+            stats.checks_executed as u64,
+        );
         // Checks a check-everything compiler would have run but this plan
         // statically proved away: one per eliminated step, per scanned row.
         let eliminated_per_row = plan.emit.len().saturating_sub(plan.checks_per_row());

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use chc_model::{ClassId, Range, Schema, Sym};
 
 /// A scalar domain.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Prim {
     /// Integers in an interval.
     Int(i64, i64),
@@ -25,7 +25,7 @@ pub enum Prim {
 }
 
 /// A type of the §5.4 theory.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Ty {
     /// A scalar domain.
     Prim(Prim),
@@ -39,7 +39,7 @@ pub enum Ty {
 
 /// A conditional type `T0 + T1/E1 + … + Tn/En` (§5.4): values in `T0`, or
 /// values in `Ti` provided the *owner* belongs to `Ei`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CondTy {
     /// The unconditional part `T0`.
     pub base: Box<Ty>,
@@ -105,7 +105,24 @@ pub fn subtype(schema: &Schema, a: &Ty, b: &Ty) -> bool {
     // One query per top-level decision; structural recursion goes through
     // `subtype_inner` so deep record types count once.
     chc_obs::counter(chc_obs::names::SUBTYPE_QUERIES, 1);
+    if chc_obs::enabled() {
+        chc_obs::labeled_counter_scoped(chc_obs::names::SUBTYPE_QUERIES, 1);
+        chc_obs::distinct(chc_obs::names::SUBTYPE_QUERIES_DISTINCT, pair_hash(0x54, a, b));
+    }
     subtype_inner(schema, a, b)
+}
+
+/// Structural hash of a `(sub, sup)` query, tagged by decision kind so
+/// `subtype` and `cond_subtype` pairs never collide. Only computed while
+/// a recorder is installed; it keys the `subtype.queries.distinct`
+/// duplicate-work counter.
+fn pair_hash<T: std::hash::Hash>(tag: u8, a: &T, b: &T) -> u64 {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tag.hash(&mut h);
+    a.hash(&mut h);
+    b.hash(&mut h);
+    h.finish()
 }
 
 fn subtype_inner(schema: &Schema, a: &Ty, b: &Ty) -> bool {
@@ -135,6 +152,10 @@ fn subtype_inner(schema: &Schema, a: &Ty, b: &Ty) -> bool {
 /// must fit the base or a pointwise-stronger arm.
 pub fn cond_subtype(schema: &Schema, a: &CondTy, b: &CondTy) -> bool {
     chc_obs::counter(chc_obs::names::SUBTYPE_QUERIES, 1);
+    if chc_obs::enabled() {
+        chc_obs::labeled_counter_scoped(chc_obs::names::SUBTYPE_QUERIES, 1);
+        chc_obs::distinct(chc_obs::names::SUBTYPE_QUERIES_DISTINCT, pair_hash(0x43, a, b));
+    }
     cond_subtype_inner(schema, a, b)
 }
 

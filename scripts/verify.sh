@@ -30,9 +30,26 @@ for chq in examples/data/*_queries.chq; do
     ./target/release/chc lint --query "$chq" "$sdl" --deny warnings
 done
 
+echo "==> chc profile smoke: folded stacks + chc-profile/1 JSON, stdout pure"
+prof="$(mktemp "${TMPDIR:-/tmp}/chc-profile.XXXXXX.json")"
+flame="$(mktemp "${TMPDIR:-/tmp}/chc-profile.XXXXXX.folded")"
+pout="$(mktemp "${TMPDIR:-/tmp}/chc-profile.XXXXXX.stdout")"
+trap 'rm -f "$prof" "$flame" "$pout"' EXIT
+./target/release/chc profile check --hier classes=800,seed=1025 \
+    --interval 100us --profile-out "$prof" --flame-out "$flame" \
+    >"$pout" 2>/dev/null
+test -s "$prof" && test -s "$flame"
+grep -q '"schema":"chc-profile/1"' "$prof"          # tagged document
+grep -q '"subtype.queries.distinct"' "$prof"        # duplicate-work counters
+grep -q '"sat.calls.distinct"' "$prof"
+grep -q '"hot_classes"' "$prof"
+! grep -Evq '^[^ ]+ [0-9]+$' "$flame"               # folded-stack line shape
+test "$(wc -l < "$pout")" -eq 1                     # stdout: one summary line
+grep -q '^profile: check' "$pout"
+
 echo "==> chc load smoke: HTML report emitted and well-formed"
 report="$(mktemp "${TMPDIR:-/tmp}/chc-load-report.XXXXXX.html")"
-trap 'rm -f "$report"' EXIT
+trap 'rm -f "$report" "$prof" "$flame" "$pout"' EXIT
 ./target/release/chc load examples/data/hospital.sdl examples/data/hospital.chd \
     --ops 500 --threads 2 --seed 42 --report "$report" >/dev/null
 test -s "$report"

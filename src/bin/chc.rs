@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>]
-//!     [--stats-out <f.json>] [--audit-out <f.jsonl>] <command> ...
+//!     [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>]
+//!     <command> ...
 //!
 //! chc check <schema.sdl> [--explain]     type-check a schema (exit 1 on errors);
 //!                                        --explain prints an admissibility
@@ -37,6 +38,16 @@
 //!                                        appended to $CHC_BENCH_JSON, and a
 //!                                        self-contained HTML report via
 //!                                        --report (docs/OBSERVABILITY.md)
+//! chc profile <check|validate|query> <schema.sdl | --hier classes=N,...>
+//!             [data.chd] ["query"] [--top N] [--label-cap K] [--interval 250us]
+//!                                        run the workload under cost
+//!                                        attribution and the span-stack
+//!                                        sampler: per-class hot-spot table
+//!                                        and duplicate-work ratios on
+//!                                        stderr, one summary line on
+//!                                        stdout, `chc-profile/1` JSON via
+//!                                        --profile-out, *sampled* folded
+//!                                        stacks via --flame-out
 //! ```
 //!
 //! Global flags may appear anywhere, before or after the subcommand.
@@ -52,7 +63,12 @@
 //! through a [`chc_obs::TraceRecorder`]. `--audit-out <file>` writes the
 //! structured audit ledger (one JSON line per executed run-time check,
 //! naming the admitting excuse for every tolerated deviation) through a
-//! bounded [`chc_obs::AuditRecorder`]. All sinks compose freely, and all
+//! bounded [`chc_obs::AuditRecorder`]. `--profile-out <file>` writes the
+//! labeled cost-attribution snapshot (per-class counters and nanosecond
+//! histograms, distinct-key counters) through a
+//! [`chc_obs::ProfileRecorder`]; under `chc profile` the same file gets
+//! the enriched `chc-profile/1` document with resolved class names and
+//! sampled stacks. All sinks compose freely, and all
 //! reporting and flushing happens even when the command fails — a
 //! failing `check` is exactly the run whose trace you want.
 
@@ -80,6 +96,7 @@ struct Flags {
     flame_out: Option<String>,
     stats_out: Option<String>,
     audit_out: Option<String>,
+    profile_out: Option<String>,
     audit_summary: bool,
     explain: bool,
 }
@@ -93,12 +110,38 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `profile` owns attribution and sampling: it parses its options up
+    // front (the recorders need the cap and interval before install) and
+    // takes over `--flame-out`, writing *sampled* folded stacks instead
+    // of the tracer's event-derived ones.
+    let profile_args = if args.first().is_some_and(|a| a == "profile") {
+        match parse_profile_args(&args[1..]) {
+            Ok(pa) => Some(pa),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+    let is_profile = profile_args.is_some();
     let stats_rec = (flags.trace || flags.stats || flags.stats_out.is_some())
         .then(|| Arc::new(chc_obs::StatsRecorder::new()));
-    let trace_rec = (flags.trace_out.is_some() || flags.flame_out.is_some())
+    let trace_rec = (flags.trace_out.is_some() || (flags.flame_out.is_some() && !is_profile))
         .then(|| Arc::new(chc_obs::TraceRecorder::new()));
     let audit_rec = (flags.audit_out.is_some() || flags.audit_summary)
         .then(|| Arc::new(chc_obs::AuditRecorder::new()));
+    let profile_rec = (flags.profile_out.is_some() || is_profile).then(|| {
+        let cap = profile_args
+            .as_ref()
+            .map(|pa| pa.label_cap)
+            .unwrap_or(chc_obs::profile::DEFAULT_LABEL_CAP);
+        Arc::new(chc_obs::ProfileRecorder::with_cap(cap))
+    });
+    let sampler = profile_args
+        .as_ref()
+        .map(|pa| Arc::new(chc_obs::SpanSampler::start(pa.interval)));
     let mut sinks: Vec<Arc<dyn chc_obs::Recorder>> = Vec::new();
     if let Some(r) = &stats_rec {
         sinks.push(r.clone());
@@ -107,6 +150,12 @@ fn main() -> ExitCode {
         sinks.push(r.clone());
     }
     if let Some(r) = &audit_rec {
+        sinks.push(r.clone());
+    }
+    if let Some(r) = &profile_rec {
+        sinks.push(r.clone());
+    }
+    if let Some(r) = &sampler {
         sinks.push(r.clone());
     }
     let installed = !sinks.is_empty();
@@ -118,7 +167,15 @@ fn main() -> ExitCode {
         };
         chc_obs::set_global(recorder);
     }
-    let outcome = run(&args, &flags);
+    let outcome = match &profile_args {
+        Some(pa) => run_profile_cmd(
+            pa,
+            &flags,
+            profile_rec.as_ref().expect("profile recorder installed"),
+            sampler.as_ref().expect("sampler installed"),
+        ),
+        None => run(&args, &flags),
+    };
     // Report and flush unconditionally: a failing command is exactly the
     // run whose trace and counters matter most. Human-readable reports go
     // to stderr so stdout stays machine-parseable under `--format json`.
@@ -159,6 +216,17 @@ fn main() -> ExitCode {
         }
         if flags.audit_summary {
             print!("{}", render_audit_summary(r));
+        }
+    }
+    // Under `chc profile` the enriched document (hot classes resolved to
+    // names, sampled stacks) is written by `run_profile_cmd`, which has
+    // the schema in hand; here only the bare-attribution form used by
+    // every other subcommand is flushed.
+    if !is_profile {
+        if let (Some(r), Some(path)) = (&profile_rec, &flags.profile_out) {
+            if let Err(e) = std::fs::write(path, r.to_json().render() + "\n") {
+                flush_err = Some(format!("{path}: {e}"));
+            }
         }
     }
     let code = match outcome {
@@ -204,6 +272,7 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
             "--flame-out" => flags.flame_out = Some(value_of("--flame-out", None)?),
             "--stats-out" => flags.stats_out = Some(value_of("--stats-out", None)?),
             "--audit-out" => flags.audit_out = Some(value_of("--audit-out", None)?),
+            "--profile-out" => flags.profile_out = Some(value_of("--profile-out", None)?),
             other => {
                 if let Some(v) = other.strip_prefix("--trace-out=") {
                     flags.trace_out = Some(value_of("--trace-out", Some(v))?);
@@ -213,6 +282,8 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
                     flags.stats_out = Some(value_of("--stats-out", Some(v))?);
                 } else if let Some(v) = other.strip_prefix("--audit-out=") {
                     flags.audit_out = Some(value_of("--audit-out", Some(v))?);
+                } else if let Some(v) = other.strip_prefix("--profile-out=") {
+                    flags.profile_out = Some(value_of("--profile-out", Some(v))?);
                 } else {
                     rest.push(arg);
                 }
@@ -586,6 +657,379 @@ fn run_load_cmd(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Which workload `chc profile` runs under attribution.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileWorkload {
+    Check,
+    Validate,
+    Query,
+}
+
+impl ProfileWorkload {
+    fn name(self) -> &'static str {
+        match self {
+            ProfileWorkload::Check => "check",
+            ProfileWorkload::Validate => "validate",
+            ProfileWorkload::Query => "query",
+        }
+    }
+}
+
+/// Options of the `profile` subcommand (global flags are in [`Flags`]).
+struct ProfileArgs {
+    workload: ProfileWorkload,
+    schema: Option<String>,
+    hier: Option<HierarchyParams>,
+    data: Option<String>,
+    query: Option<String>,
+    /// Rows in the hot-spot table.
+    top: usize,
+    /// Per-name label-cardinality cap for the attribution recorder.
+    label_cap: usize,
+    /// Sampling interval of the span-stack sampler.
+    interval: std::time::Duration,
+}
+
+fn parse_profile_args(args: &[String]) -> Result<ProfileArgs, String> {
+    let usage = "usage: chc profile <check|validate|query> <schema.sdl | --hier classes=N,...> \
+                 [data.chd] [\"query\"] [--top N] [--label-cap K] [--interval 250us] \
+                 [--profile-out f.json] [--flame-out f.folded]";
+    let mut pa = ProfileArgs {
+        workload: ProfileWorkload::Check,
+        schema: None,
+        hier: None,
+        data: None,
+        query: None,
+        top: 10,
+        label_cap: 4096,
+        interval: std::time::Duration::from_micros(250),
+    };
+    let mut workload_seen = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--top" => {
+                pa.top = value_of("--top")?.parse().map_err(|e| format!("--top: {e}"))?
+            }
+            "--label-cap" => {
+                pa.label_cap = value_of("--label-cap")?
+                    .parse()
+                    .map_err(|e| format!("--label-cap: {e}"))?
+            }
+            "--interval" => pa.interval = parse_duration(value_of("--interval")?)?,
+            "--hier" => pa.hier = Some(parse_hier_spec(value_of("--hier")?)?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown profile option `{other}`\n{usage}"))
+            }
+            other if !workload_seen => {
+                workload_seen = true;
+                pa.workload = match other {
+                    "check" => ProfileWorkload::Check,
+                    "validate" => ProfileWorkload::Validate,
+                    "query" => ProfileWorkload::Query,
+                    _ => return Err(format!("unknown profile workload `{other}`\n{usage}")),
+                };
+            }
+            other => {
+                if pa.schema.is_none() {
+                    pa.schema = Some(other.to_string());
+                } else if pa.data.is_none() {
+                    pa.data = Some(other.to_string());
+                } else if pa.query.is_none() {
+                    pa.query = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected profile argument `{other}`\n{usage}"));
+                }
+            }
+        }
+    }
+    if !workload_seen {
+        return Err(usage.to_string());
+    }
+    if pa.schema.is_none() && pa.hier.is_none() {
+        return Err("profile needs a schema file or --hier".to_string());
+    }
+    match pa.workload {
+        ProfileWorkload::Check => {}
+        ProfileWorkload::Validate => {
+            if pa.data.is_none() {
+                return Err("profile validate needs a data file".to_string());
+            }
+        }
+        ProfileWorkload::Query => {
+            if pa.data.is_none() || pa.query.is_none() {
+                return Err("profile query needs a data file and a query string".to_string());
+            }
+        }
+    }
+    Ok(pa)
+}
+
+/// Runs the requested workload under the attribution recorder and the
+/// span-stack sampler, then reports: a per-class hot-spot table and the
+/// duplicate-work ratios on stderr, a one-line summary on stdout, the
+/// `chc-profile/1` JSON document to `--profile-out`, and the *sampled*
+/// folded stacks to `--flame-out`.
+fn run_profile_cmd(
+    pa: &ProfileArgs,
+    flags: &Flags,
+    profile: &Arc<chc_obs::ProfileRecorder>,
+    sampler: &Arc<chc_obs::SpanSampler>,
+) -> Result<ExitCode, String> {
+    use excuses::workloads::generate;
+    use std::fmt::Write as _;
+
+    let span = chc_obs::span(chc_obs::names::SPAN_CLI_PROFILE);
+    let (schema, source_name) = match (&pa.hier, &pa.schema) {
+        (Some(params), _) => (
+            generate(params).schema,
+            format!("--hier classes={}", params.classes),
+        ),
+        (None, Some(path)) => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let schema = {
+                let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
+                compile_with_source(&src, path).map_err(|e| format!("{path}: {e}"))?
+            };
+            (schema, path.clone())
+        }
+        (None, None) => unreachable!("parse_profile_args requires a schema"),
+    };
+
+    // The workload itself. Diagnostics are counted, not printed — the
+    // subject here is cost, and stdout stays one machine-greppable line.
+    let mut workload_note = String::new();
+    match pa.workload {
+        ProfileWorkload::Check => {
+            let report = check(&schema);
+            let _ = write!(
+                workload_note,
+                "{} error(s), {} warning(s)",
+                report.errors().count(),
+                report.warnings().count()
+            );
+        }
+        ProfileWorkload::Validate => {
+            let data_path = pa.data.as_deref().expect("validated by the parser");
+            let data_src =
+                std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+            let report = check(&schema);
+            if !report.is_ok() {
+                return Err("schema has errors; fix it before validating data".to_string());
+            }
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let mut data = load_data(&v.schema, &data_src).map_err(|e| e.to_string())?;
+            refresh_virtual_extents(&mut data.store, &v);
+            let opts = ValidationOptions {
+                semantics: Semantics::Correct,
+                missing: MissingPolicy::Absent,
+            };
+            let mut bad = 0usize;
+            for (_, oid) in &data.names {
+                bad += usize::from(!validate_stored(&v.schema, &data.store, opts, *oid).is_empty());
+            }
+            let _ = write!(workload_note, "{} object(s), {} invalid", data.names.len(), bad);
+        }
+        ProfileWorkload::Query => {
+            let data_path = pa.data.as_deref().expect("validated by the parser");
+            let text = pa.query.as_deref().expect("validated by the parser");
+            let data_src =
+                std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+            let report = check(&schema);
+            if !report.is_ok() {
+                return Err("schema has errors; fix it before querying data".to_string());
+            }
+            let v = virtualize(&schema).map_err(|e| e.to_string())?;
+            let ctx = TypeContext::with_virtuals(&v);
+            let mut data = load_data(&v.schema, &data_src).map_err(|e| e.to_string())?;
+            refresh_virtual_extents(&mut data.store, &v);
+            let query =
+                parse_query(&v.schema, text).map_err(|e| format!("query:{}: {e}", e.span))?;
+            let plan = compile_query(&ctx, &query, CheckMode::Eliminate)
+                .map_err(|e| format!("query type error: {e:?}"))?;
+            let result = execute(&v.schema, &data.store, &plan);
+            let _ = write!(
+                workload_note,
+                "{} row(s) scanned, {} emitted",
+                result.stats.rows_scanned, result.stats.rows_emitted
+            );
+        }
+    }
+    drop(span);
+    sampler.stop();
+
+    // --- the hot-spot table (stderr) ---
+    let nanos_by_class = profile
+        .labeled_sums(chc_obs::names::CHECK_CLASS_NANOS)
+        .map(|(entries, _other)| entries)
+        .unwrap_or_default();
+    let total_nanos: u64 = nanos_by_class.iter().map(|&(_, _, sum)| sum).sum();
+    let labeled_of = |name: &str| -> std::collections::BTreeMap<u64, u64> {
+        profile
+            .labeled(name)
+            .map(|s| s.entries.into_iter().collect())
+            .unwrap_or_default()
+    };
+    let subtype_by_class = labeled_of(chc_obs::names::SUBTYPE_QUERIES);
+    let sat_by_class = labeled_of(chc_obs::names::SAT_CALLS);
+    let contra_by_class = labeled_of(chc_obs::names::CHECK_CONTRADICTIONS);
+    let rows_by_class = labeled_of(chc_obs::names::QUERY_ROWS_SCANNED);
+
+    let subtype_total = profile.counter_value(chc_obs::names::SUBTYPE_QUERIES);
+    let subtype_distinct = profile.counter_value(chc_obs::names::SUBTYPE_QUERIES_DISTINCT);
+    let sat_total = profile.counter_value(chc_obs::names::SAT_CALLS);
+    let sat_distinct = profile.counter_value(chc_obs::names::SAT_CALLS_DISTINCT);
+    let ratio = |total: u64, distinct: u64| -> f64 {
+        if distinct == 0 {
+            1.0
+        } else {
+            total as f64 / distinct as f64
+        }
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "profile: {} {} — {} classes ({workload_note})",
+        pa.workload.name(),
+        source_name,
+        schema.num_classes(),
+    );
+    let _ = writeln!(
+        report,
+        "  duplicate work: subtype.queries {subtype_total} / {subtype_distinct} distinct = {:.1}x, \
+         sat.calls {sat_total} / {sat_distinct} distinct = {:.1}x",
+        ratio(subtype_total, subtype_distinct),
+        ratio(sat_total, sat_distinct),
+    );
+    let _ = writeln!(
+        report,
+        "  sampler: {} sample(s) at {} intervals, {} distinct stack path(s)",
+        sampler.samples(),
+        format_ns_cli(sampler.interval().as_nanos().min(u64::MAX as u128) as u64),
+        sampler.folded_counts().len(),
+    );
+    let _ = writeln!(
+        report,
+        "\n  {:<28} {:>10} {:>7} {:>9} {:>7} {:>7} {:>9}",
+        "class", "time", "share", "subtype", "sat", "contra", "rows"
+    );
+    let shown = nanos_by_class.iter().take(pa.top);
+    for &(label, _count, sum) in shown {
+        let class = chc_model::ClassId::from_raw(label as u32);
+        let share = if total_nanos == 0 {
+            0.0
+        } else {
+            100.0 * sum as f64 / total_nanos as f64
+        };
+        let _ = writeln!(
+            report,
+            "  {:<28} {:>10} {:>6.1}% {:>9} {:>7} {:>7} {:>9}",
+            schema.class_name(class),
+            format_ns_cli(sum),
+            share,
+            subtype_by_class.get(&label).copied().unwrap_or(0),
+            sat_by_class.get(&label).copied().unwrap_or(0),
+            contra_by_class.get(&label).copied().unwrap_or(0),
+            rows_by_class.get(&label).copied().unwrap_or(0),
+        );
+    }
+    if nanos_by_class.len() > pa.top {
+        let _ = writeln!(
+            report,
+            "  … {} more class(es); raise --top or read --profile-out",
+            nanos_by_class.len() - pa.top
+        );
+    }
+    eprint!("{report}");
+
+    // --- machine outputs ---
+    if let Some(path) = &flags.flame_out {
+        let folded = sampler.to_folded_stacks();
+        std::fs::write(path, folded).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &flags.profile_out {
+        let doc = profile_json(pa, profile, sampler, &schema, &nanos_by_class, total_nanos);
+        let text = doc.render();
+        // Self-check: the document must parse back through chc_obs::json
+        // before it is allowed on disk — an unparseable profile is a bug.
+        chc_obs::json::parse(&text)
+            .map_err(|e| format!("internal error: profile JSON does not round-trip: {e}"))?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("{path}: {e}"))?;
+    }
+    println!(
+        "profile: {} — {} classes, subtype {}/{} ({:.1}x), sat {}/{} ({:.1}x), {} sample(s)",
+        pa.workload.name(),
+        schema.num_classes(),
+        subtype_total,
+        subtype_distinct,
+        ratio(subtype_total, subtype_distinct),
+        sat_total,
+        sat_distinct,
+        ratio(sat_total, sat_distinct),
+        sampler.samples(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The enriched `chc-profile/1` document: the recorder's own export plus
+/// the workload name, the name-resolved hot-class table, and the sampled
+/// stacks.
+fn profile_json(
+    pa: &ProfileArgs,
+    profile: &chc_obs::ProfileRecorder,
+    sampler: &chc_obs::SpanSampler,
+    schema: &chc_model::Schema,
+    nanos_by_class: &[(u64, u64, u64)],
+    total_nanos: u64,
+) -> chc_obs::json::JsonValue {
+    use chc_obs::json::JsonValue;
+    let base = profile.to_json();
+    let part = |key: &str| base.get(key).cloned().unwrap_or_else(|| JsonValue::object([]));
+    let hot = JsonValue::array(nanos_by_class.iter().map(|&(label, _count, sum)| {
+        let class = chc_model::ClassId::from_raw(label as u32);
+        let share = if total_nanos == 0 {
+            0.0
+        } else {
+            sum as f64 / total_nanos as f64
+        };
+        JsonValue::object([
+            ("class", JsonValue::string(schema.class_name(class))),
+            ("label", JsonValue::number(label as f64)),
+            ("nanos", JsonValue::number(sum as f64)),
+            ("share", JsonValue::number((share * 1_000.0).round() / 1_000.0)),
+        ])
+    }));
+    let stacks = JsonValue::array(sampler.folded_counts().into_iter().map(|(path, count)| {
+        JsonValue::object([
+            ("stack", JsonValue::string(&path)),
+            ("count", JsonValue::number(count as f64)),
+        ])
+    }));
+    let sampler_obj = JsonValue::object([
+        (
+            "interval_nanos",
+            JsonValue::number(sampler.interval().as_nanos().min(u64::MAX as u128) as f64),
+        ),
+        ("samples", JsonValue::number(sampler.samples() as f64)),
+        ("idle", JsonValue::number(sampler.idle() as f64)),
+        ("stacks", stacks),
+    ]);
+    JsonValue::object([
+        ("schema", JsonValue::string("chc-profile/1")),
+        ("workload", JsonValue::string(pa.workload.name())),
+        ("cap", part("cap")),
+        ("counters", part("counters")),
+        ("labeled", part("labeled")),
+        ("histograms", part("histograms")),
+        ("hot_classes", hot),
+        ("sampler", sampler_obj),
+    ])
+}
+
 /// `1.2us`-style rendering for the stdout summary line.
 fn format_ns_cli(ns: u64) -> String {
     if ns < 1_000 {
@@ -598,7 +1042,7 @@ fn format_ns_cli(ns: u64) -> String {
 }
 
 fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] <check|lint|print|virtualize|explain|analyze|query|validate|load> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>] <check|lint|print|virtualize|explain|analyze|query|validate|load|profile> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
     // `load` acquires its schema itself (`--hier` generates one instead
     // of reading a file), so it skips the generic compile below.
