@@ -1,4 +1,4 @@
-//! Regenerates every experiment (E1–E14) as markdown tables.
+//! Regenerates every experiment (E1–E15) as markdown tables.
 //!
 //! ```text
 //! cargo run --release -p chc-bench --bin report            # all experiments
@@ -21,6 +21,13 @@ use std::time::Instant;
 
 use chc_obs::names;
 use chc_obs::StatsRecorder;
+
+/// E15 measures real allocator traffic, so the report binary runs under
+/// the tracking wrapper. Its fast path is a handful of relaxed atomics —
+/// the timing columns of the other experiments are unaffected (the
+/// same wrapper is installed in the `chc` binary those reproduce under).
+#[global_allocator]
+static ALLOC: chc_obs::memalloc::TrackingAllocator = chc_obs::memalloc::TrackingAllocator;
 
 use chc_baselines::{
     build_anchor_lattice, default_range, polymorphism_preserved, reconcile, DefaultError,
@@ -83,6 +90,9 @@ fn main() {
     }
     if want("E14") {
         e14();
+    }
+    if want("E15") {
+        e15();
     }
     if want("A1") {
         a1();
@@ -743,6 +753,73 @@ fn e14() {
          late, deep classes: the top five classes absorb a disproportionate share \
          of checker time, which is exactly what `chc profile check` surfaces \
          per-run.\n"
+    );
+}
+
+fn e15() {
+    use chc_obs::memalloc;
+    println!("## E15 — memory footprint vs. schema size and object count\n");
+    println!(
+        "The tracking allocator (`chc_obs::memalloc`, the same wrapper the `chc` \
+         binary installs) attributes real allocator traffic to each phase: a \
+         thread probe around schema construction and `check()` yields bytes \
+         allocated and peak live growth, and the global live-byte delta gives \
+         resident footprint. Reproduce interactively with \
+         `chc profile check --hier classes=N,seed=S --mem`.\n"
+    );
+    println!("| classes | schema resident | check allocated | check peak live | check live leak |");
+    println!("|---:|---:|---:|---:|---:|");
+    let mb = |b: u64| format!("{:.2} MB", b as f64 / (1024.0 * 1024.0));
+    let kb = |b: u64| format!("{:.1} KB", b as f64 / 1024.0);
+    for &n in &SCHEMA_SIZES {
+        let live_before = memalloc::snapshot().bytes_live;
+        let schema = sized_schema(n);
+        let resident = memalloc::snapshot().bytes_live.saturating_sub(live_before);
+        let live_pre_check = memalloc::snapshot().bytes_live;
+        let probe = memalloc::probe();
+        assert!(check(&schema).is_ok());
+        let stats = probe.stats();
+        drop(probe);
+        let leak = memalloc::snapshot().bytes_live.saturating_sub(live_pre_check);
+        println!(
+            "| {n} | {} | {} | {} | {} |",
+            kb(resident),
+            kb(stats.bytes_allocated),
+            kb(stats.peak_live),
+            kb(leak),
+        );
+    }
+    println!(
+        "\n| patients (ε = 0.15) | extent resident | populate allocated | populate peak live |"
+    );
+    println!("|---:|---:|---:|---:|");
+    for &patients in &[2_000usize, 5_000, 10_000, 20_000] {
+        let live_before = memalloc::snapshot().bytes_live;
+        let probe = memalloc::probe();
+        let db = build_hospital(&HospitalParams {
+            patients,
+            tubercular_fraction: 0.15,
+            ..Default::default()
+        });
+        let stats = probe.stats();
+        drop(probe);
+        let resident = memalloc::snapshot().bytes_live.saturating_sub(live_before);
+        println!(
+            "| {patients} | {} | {} | {} |",
+            mb(resident),
+            mb(stats.bytes_allocated),
+            mb(stats.peak_live),
+        );
+        drop(db);
+    }
+    println!(
+        "\nChecking allocates transient working state — subtype frontiers, interval \
+         intersections, excuse sets — that is freed again by the time the report \
+         returns: the live-leak column stays near zero while allocated bytes grow \
+         with schema size. Object extents are the opposite: populate cost is \
+         dominated by bytes that *stay* resident (the stored attribute values), \
+         so footprint scales linearly with object count, matching the paper's \
+         claim that excuses add schema-side cost, not per-object cost.\n"
     );
 }
 

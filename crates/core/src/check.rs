@@ -42,6 +42,10 @@ use crate::diagnostics::{CheckReport, DiagKind, Diagnostic, Severity};
 /// ```
 pub fn check(schema: &Schema) -> CheckReport {
     let _span = chc_obs::span(chc_obs::names::SPAN_CHECK_SCHEMA);
+    let _mem = chc_obs::memalloc::span_mem(
+        chc_obs::names::MEM_CHECK_SCHEMA_BYTES,
+        chc_obs::names::MEM_CHECK_SCHEMA_PEAK,
+    );
     let mut report = CheckReport::default();
     for class in schema.class_ids() {
         check_class(schema, class, &mut report);
@@ -60,6 +64,10 @@ pub fn check_class(schema: &Schema, class: ClassId, report: &mut CheckReport) {
     // histogram behind `chc profile`'s time-share column.
     if chc_obs::enabled() {
         let _label = chc_obs::label_scope(class.index() as u64);
+        // Memory attribution rides the same scope when the tracking
+        // allocator is live: bytes allocated and peak net-live growth
+        // while checking this class, keyed by the class id.
+        let mem = chc_obs::memalloc::installed().then(chc_obs::memalloc::probe);
         let start = std::time::Instant::now();
         check_class_inner(schema, class, report);
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -68,6 +76,20 @@ pub fn check_class(schema: &Schema, class: ClassId, report: &mut CheckReport) {
             class.index() as u64,
             nanos,
         );
+        if let Some(mem) = mem {
+            let stats = mem.stats();
+            drop(mem);
+            chc_obs::labeled_counter(
+                chc_obs::names::MEM_CHECK_CLASS_BYTES,
+                class.index() as u64,
+                stats.bytes_allocated,
+            );
+            chc_obs::labeled_histogram(
+                chc_obs::names::MEM_CHECK_CLASS_PEAK,
+                class.index() as u64,
+                stats.peak_live,
+            );
+        }
         return;
     }
     check_class_inner(schema, class, report);

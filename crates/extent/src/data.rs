@@ -72,6 +72,10 @@ impl LoadedData {
 /// memberships first (so `@refs` may point forward), then attributes.
 pub fn load_data(schema: &Schema, src: &str) -> Result<LoadedData, DataError> {
     let _span = chc_obs::span(chc_obs::names::SPAN_EXTENT_LOAD);
+    let _mem = chc_obs::memalloc::span_mem(
+        chc_obs::names::MEM_EXTENT_LOAD_BYTES,
+        chc_obs::names::MEM_EXTENT_LOAD_PEAK,
+    );
     let mut store = ExtentStore::new(schema);
     let mut names: Vec<(String, Oid)> = Vec::new();
     let mut by_name: HashMap<String, Oid> = HashMap::new();

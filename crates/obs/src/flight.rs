@@ -1,0 +1,630 @@
+//! The flight recorder: an always-on bounded black box, plus the
+//! crash/stall diagnostics built on top of it.
+//!
+//! A [`FlightRecorder`] is a [`Recorder`] sink that keeps the most
+//! recent span transitions, counter deltas, and events in a fixed-size
+//! ring (drop-oldest, like [`crate::TraceRecorder`]), along with the
+//! per-thread stack of currently-open spans and a running total per
+//! counter name. It is designed to be installed *unconditionally* in
+//! long-lived binaries — the per-event cost is one atomic sequence
+//! bump plus a short mutex-guarded ring push, pinned by the
+//! `flight_recording_is_cheap` smoke test — so that when the process
+//! dies there is always a recent-history tail to dump.
+//!
+//! The dump is a `chc-crash/1` JSON document produced by
+//! [`crash_report`]: the flight tail, open-span stacks per thread, the
+//! counter and [`crate::memalloc`] snapshots, and whatever key/value
+//! context the host registered via [`set_context`] (schema digest,
+//! build info, argv). [`CrashWriter`] renders and writes it
+//! round-trip-checked, at most once per process, from either:
+//!
+//! * a panic hook (the host wires [`CrashWriter::dump`] into
+//!   `std::panic::set_hook`), or
+//! * a [`Watchdog`]: a background thread that declares a stall when
+//!   the flight sequence number stops advancing while spans are still
+//!   open, and dumps the same report with `"reason":"stall"`.
+//!
+//! `chc doctor` renders the resulting file human-readably.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{JoinHandle, ThreadId};
+use std::time::{Duration, Instant};
+
+use crate::json::{self, JsonValue};
+use crate::{events, memalloc, Recorder};
+
+/// Default ring capacity: enough for a few thousand recent transitions
+/// without the tail dominating the crash report.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// What kind of transition a [`FlightEntry`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A span opened.
+    SpanEnter,
+    /// A span closed; `value` is its duration in nanoseconds.
+    SpanExit,
+    /// A counter was bumped; `value` is the delta.
+    Counter,
+    /// A structured event was emitted (name only — payloads stay in
+    /// the audit sink).
+    Event,
+}
+
+impl FlightKind {
+    /// The label used in `chc-crash/1` JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::SpanEnter => "enter",
+            FlightKind::SpanExit => "exit",
+            FlightKind::Counter => "counter",
+            FlightKind::Event => "event",
+        }
+    }
+}
+
+/// One recent transition held in the flight ring.
+#[derive(Debug, Clone)]
+pub struct FlightEntry {
+    /// Monotone per-recorder sequence number.
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub micros: u64,
+    /// Dense per-recorder thread index (order of first observation).
+    pub thread: usize,
+    /// Transition kind.
+    pub kind: FlightKind,
+    /// Counter/span/event name.
+    pub name: &'static str,
+    /// Kind-dependent value: counter delta, span-exit nanos, else 0.
+    pub value: u64,
+}
+
+struct FlightInner {
+    ring: VecDeque<FlightEntry>,
+    dropped: u64,
+    /// ThreadId -> dense index, in order of first observation.
+    tids: HashMap<ThreadId, usize>,
+    /// Open-span stack per dense thread index.
+    stacks: Vec<Vec<&'static str>>,
+    /// Running totals per counter name.
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// The always-on black box. See the module docs.
+pub struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A flight recorder with the [`DEFAULT_CAPACITY`] ring.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A flight recorder keeping at most `capacity` recent entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            start: Instant::now(),
+            capacity,
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(FlightInner {
+                ring: VecDeque::with_capacity(capacity),
+                dropped: 0,
+                tids: HashMap::new(),
+                stacks: Vec::new(),
+                counters: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Transitions recorded so far (including dropped ones). The
+    /// watchdog uses this as its liveness signal.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().expect("flight lock");
+        inner.dropped
+    }
+
+    /// The current ring contents, oldest first.
+    pub fn tail(&self) -> Vec<FlightEntry> {
+        let inner = self.inner.lock().expect("flight lock");
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// Open-span stacks per dense thread index, outermost first, for
+    /// threads that currently have at least one span open.
+    pub fn open_spans(&self) -> Vec<(usize, Vec<&'static str>)> {
+        let inner = self.inner.lock().expect("flight lock");
+        inner
+            .stacks
+            .iter()
+            .enumerate()
+            .filter(|(_, stack)| !stack.is_empty())
+            .map(|(idx, stack)| (idx, stack.clone()))
+            .collect()
+    }
+
+    /// True when any thread has an open span — the watchdog's "work
+    /// was in progress" condition.
+    pub fn has_open_spans(&self) -> bool {
+        let inner = self.inner.lock().expect("flight lock");
+        inner.stacks.iter().any(|stack| !stack.is_empty())
+    }
+
+    /// Running counter totals, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let inner = self.inner.lock().expect("flight lock");
+        inner.counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    fn record(&self, kind: FlightKind, name: &'static str, value: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let micros = self.start.elapsed().as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut inner = self.inner.lock().expect("flight lock");
+        let next_idx = inner.tids.len();
+        let idx = *inner.tids.entry(tid).or_insert(next_idx);
+        if inner.stacks.len() <= idx {
+            inner.stacks.resize_with(idx + 1, Vec::new);
+        }
+        match kind {
+            FlightKind::SpanEnter => inner.stacks[idx].push(name),
+            FlightKind::SpanExit => {
+                // Tolerate malformed exits the way the sampler does:
+                // truncate at the innermost match, never tear the stack.
+                if let Some(pos) = inner.stacks[idx].iter().rposition(|&n| n == name) {
+                    inner.stacks[idx].truncate(pos);
+                }
+            }
+            FlightKind::Counter => *inner.counters.entry(name).or_insert(0) += value,
+            FlightKind::Event => {}
+        }
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(FlightEntry {
+            seq,
+            micros,
+            thread: idx,
+            kind,
+            name,
+            value,
+        });
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.record(FlightKind::Counter, name, delta);
+    }
+
+    fn histogram(&self, _name: &'static str, _value: u64) {
+        // Histogram observations ride hot loops; the black box keeps
+        // counters and span transitions only.
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        self.record(FlightKind::SpanEnter, name, 0);
+    }
+
+    fn span_exit(&self, name: &'static str, nanos: u64) {
+        self.record(FlightKind::SpanExit, name, nanos);
+    }
+
+    fn event(&self, event: &events::Event) {
+        self.record(FlightKind::Event, event.name, 0);
+    }
+
+    // labeled_counter / labeled_histogram / distinct keep the default
+    // no-op: per-label attribution is the profiler's job and too hot
+    // for a mutex-guarded ring.
+}
+
+// --- crash-report context -------------------------------------------
+
+static CONTEXT: Mutex<Option<BTreeMap<String, String>>> = Mutex::new(None);
+
+/// Registers a key/value pair (schema digest, build info, argv, …) to
+/// be embedded in any crash report this process writes. Later writes
+/// to the same key replace the value.
+pub fn set_context(key: &str, value: &str) {
+    let mut guard = CONTEXT.lock().expect("crash context lock");
+    guard
+        .get_or_insert_with(BTreeMap::new)
+        .insert(key.to_string(), value.to_string());
+}
+
+/// The registered crash context, sorted by key.
+pub fn context() -> Vec<(String, String)> {
+    let guard = CONTEXT.lock().expect("crash context lock");
+    guard
+        .as_ref()
+        .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+        .unwrap_or_default()
+}
+
+// --- chc-crash/1 ----------------------------------------------------
+
+/// Builds a `chc-crash/1` document from the flight recorder's current
+/// state. `reason` is `"panic"` or `"stall"`; `message` is the panic
+/// payload or a stall description.
+pub fn crash_report(reason: &str, message: &str, flight: &FlightRecorder) -> JsonValue {
+    let mem = memalloc::snapshot();
+    let threads = flight.open_spans().into_iter().map(|(idx, stack)| {
+        JsonValue::object([
+            ("thread", JsonValue::number(idx as f64)),
+            (
+                "stack",
+                JsonValue::array(stack.into_iter().map(JsonValue::string)),
+            ),
+        ])
+    });
+    let tail = flight.tail().into_iter().map(|e| {
+        JsonValue::object([
+            ("seq", JsonValue::number(e.seq as f64)),
+            ("t_us", JsonValue::number(e.micros as f64)),
+            ("thread", JsonValue::number(e.thread as f64)),
+            ("kind", JsonValue::string(e.kind.label())),
+            ("name", JsonValue::string(e.name)),
+            ("value", JsonValue::number(e.value as f64)),
+        ])
+    });
+    let counters = flight
+        .counters()
+        .into_iter()
+        .map(|(name, value)| (name, JsonValue::number(value as f64)));
+    let ctx = context();
+    JsonValue::object([
+        ("schema", JsonValue::string("chc-crash/1")),
+        ("reason", JsonValue::string(reason)),
+        ("message", JsonValue::string(message)),
+        ("pid", JsonValue::number(f64::from(std::process::id()))),
+        (
+            "uptime_us",
+            JsonValue::number(flight.start.elapsed().as_micros() as f64),
+        ),
+        (
+            "context",
+            JsonValue::object(ctx.iter().map(|(k, v)| (k.as_str(), JsonValue::string(v)))),
+        ),
+        (
+            "mem",
+            JsonValue::object([
+                (
+                    "installed",
+                    JsonValue::number(f64::from(u8::from(memalloc::installed()))),
+                ),
+                ("allocs", JsonValue::number(mem.allocs as f64)),
+                ("frees", JsonValue::number(mem.frees as f64)),
+                ("bytes_total", JsonValue::number(mem.bytes_total as f64)),
+                ("bytes_live", JsonValue::number(mem.bytes_live as f64)),
+                ("bytes_peak", JsonValue::number(mem.bytes_peak as f64)),
+            ]),
+        ),
+        ("counters", JsonValue::object(counters)),
+        ("threads", JsonValue::array(threads)),
+        ("flight", JsonValue::array(tail)),
+        ("flight_dropped", JsonValue::number(flight.dropped() as f64)),
+    ])
+}
+
+/// Writes a crash report at most once per process: shared by the
+/// panic hook and the [`Watchdog`] so whichever fires first wins.
+pub struct CrashWriter {
+    flight: Arc<FlightRecorder>,
+    path: Option<PathBuf>,
+    written: AtomicBool,
+}
+
+impl CrashWriter {
+    /// A writer dumping to `path` (`None` = diagnostics-only host:
+    /// [`CrashWriter::dump`] becomes a no-op returning `None`).
+    pub fn new(flight: Arc<FlightRecorder>, path: Option<PathBuf>) -> Self {
+        CrashWriter {
+            flight,
+            path,
+            written: AtomicBool::new(false),
+        }
+    }
+
+    /// The flight recorder this writer watches.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The destination, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Builds, round-trip-checks, and writes the `chc-crash/1` report.
+    /// Only the first call writes; later calls (second panic, watchdog
+    /// racing the panic hook) return `None`.
+    pub fn dump(&self, reason: &str, message: &str) -> Option<io::Result<PathBuf>> {
+        let path = self.path.as_ref()?;
+        if self.written.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        let doc = crash_report(reason, message, &self.flight);
+        let rendered = doc.render();
+        if let Err(err) = json::parse(&rendered) {
+            return Some(Err(io::Error::other(format!(
+                "chc-crash/1 report failed its round-trip check: {err}"
+            ))));
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(err) = std::fs::create_dir_all(parent) {
+                    return Some(Err(err));
+                }
+            }
+        }
+        Some(std::fs::write(path, rendered).map(|()| path.clone()))
+    }
+}
+
+// --- stall watchdog -------------------------------------------------
+
+/// A background thread that dumps a `"reason":"stall"` crash report
+/// when the flight sequence number stops advancing for `timeout` while
+/// spans are still open. Stop it with [`Watchdog::stop`]; dropping the
+/// handle stops it too.
+pub struct Watchdog {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog. `timeout` is clamped to at least 10 ms.
+    pub fn start(writer: Arc<CrashWriter>, timeout: Duration) -> Watchdog {
+        let timeout = timeout.max(Duration::from_millis(10));
+        let tick = (timeout / 4).max(Duration::from_millis(5));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("chc-watchdog".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop2;
+                let mut last_seq = writer.flight().seq();
+                let mut last_change = Instant::now();
+                let mut stopped = lock.lock().expect("watchdog lock");
+                loop {
+                    // Check before waiting: `stop()` may have set the flag
+                    // (and fired its lost notification) before this thread
+                    // first acquired the lock.
+                    if *stopped {
+                        return;
+                    }
+                    let (guard, wait) = cvar.wait_timeout(stopped, tick).expect("watchdog wait");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    let _ = wait;
+                    let seq = writer.flight().seq();
+                    if seq != last_seq {
+                        last_seq = seq;
+                        last_change = Instant::now();
+                    } else if last_change.elapsed() >= timeout && writer.flight().has_open_spans() {
+                        let message = format!(
+                            "no flight-recorder activity for {:.1}s with spans still open",
+                            last_change.elapsed().as_secs_f64()
+                        );
+                        if let Some(Ok(path)) = writer.dump("stall", &message) {
+                            eprintln!("chc: watchdog stall report written to {}", path.display());
+                        }
+                        return;
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to exit and joins it.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().expect("watchdog lock") = true;
+            cvar.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use std::hint::black_box;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("chc-obs-flight-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_drops() {
+        let flight = FlightRecorder::with_capacity(4);
+        for _ in 0..10 {
+            flight.counter("t.ops", 1);
+        }
+        let tail = flight.tail();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(flight.dropped(), 6);
+        assert_eq!(tail.first().unwrap().seq, 6, "oldest surviving entry");
+        assert_eq!(tail.last().unwrap().seq, 9);
+        assert_eq!(flight.counters(), vec![("t.ops", 10)]);
+    }
+
+    #[test]
+    fn open_span_stacks_follow_enter_and_exit() {
+        let flight = FlightRecorder::new();
+        flight.span_enter("outer");
+        flight.span_enter("inner");
+        assert_eq!(flight.open_spans(), vec![(0, vec!["outer", "inner"])]);
+        flight.span_exit("inner", 42);
+        assert_eq!(flight.open_spans(), vec![(0, vec!["outer"])]);
+        // A malformed exit for a span that is not open is ignored.
+        flight.span_exit("inner", 7);
+        assert_eq!(flight.open_spans(), vec![(0, vec!["outer"])]);
+        flight.span_exit("outer", 99);
+        assert!(!flight.has_open_spans());
+    }
+
+    #[test]
+    fn events_land_in_the_ring_by_name() {
+        let flight = FlightRecorder::new();
+        flight.event(&Event::new(crate::EventLevel::Audit, "t.event"));
+        let tail = flight.tail();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, FlightKind::Event);
+        assert_eq!(tail[0].name, "t.event");
+    }
+
+    #[test]
+    fn crash_report_round_trips_with_tail_and_stacks() {
+        let flight = FlightRecorder::new();
+        flight.span_enter("cli.load");
+        flight.counter("load.ops", 3);
+        set_context("schema_digest", "deadbeef");
+        let doc = crash_report("panic", "boom", &flight);
+        let parsed = json::parse(&doc.render()).expect("chc-crash/1 round-trips");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("chc-crash/1")
+        );
+        assert_eq!(parsed.get("reason").and_then(|v| v.as_str()), Some("panic"));
+        let threads = parsed.get("threads").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(threads.len(), 1);
+        let stack = threads[0].get("stack").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(stack[0].as_str(), Some("cli.load"));
+        let tail = parsed.get("flight").and_then(|v| v.as_array()).unwrap();
+        assert!(!tail.is_empty());
+        assert!(parsed
+            .get("context")
+            .and_then(|c| c.get("schema_digest"))
+            .is_some());
+        assert!(parsed
+            .get("counters")
+            .and_then(|c| c.get("load.ops"))
+            .is_some());
+        assert!(parsed
+            .get("mem")
+            .and_then(|m| m.get("bytes_peak"))
+            .is_some());
+    }
+
+    #[test]
+    fn crash_writer_writes_once() {
+        let flight = Arc::new(FlightRecorder::new());
+        flight.span_enter("t.span");
+        let path = tmp("crash-once.json");
+        let _ = std::fs::remove_file(&path);
+        let writer = CrashWriter::new(flight, Some(path.clone()));
+        let first = writer.dump("panic", "first").expect("first dump runs");
+        assert_eq!(first.expect("write ok"), path);
+        assert!(
+            writer.dump("stall", "second").is_none(),
+            "second dump suppressed"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("message").and_then(|v| v.as_str()),
+            Some("first")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_writer_without_destination_is_a_no_op() {
+        let writer = CrashWriter::new(Arc::new(FlightRecorder::new()), None);
+        assert!(writer.dump("panic", "boom").is_none());
+    }
+
+    #[test]
+    fn watchdog_dumps_a_stall_report_when_activity_stops() {
+        let flight = Arc::new(FlightRecorder::new());
+        flight.span_enter("t.stalled");
+        let path = tmp("stall.json");
+        let _ = std::fs::remove_file(&path);
+        let writer = Arc::new(CrashWriter::new(flight, Some(path.clone())));
+        let mut dog = Watchdog::start(writer, Duration::from_millis(40));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !path.exists() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        dog.stop();
+        let body = std::fs::read_to_string(&path).expect("stall report written");
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("reason").and_then(|v| v.as_str()), Some("stall"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_while_activity_continues() {
+        let flight = Arc::new(FlightRecorder::new());
+        flight.span_enter("t.busy");
+        let path = tmp("no-stall.json");
+        let _ = std::fs::remove_file(&path);
+        let writer = Arc::new(CrashWriter::new(flight.clone(), Some(path.clone())));
+        let mut dog = Watchdog::start(writer, Duration::from_millis(60));
+        for _ in 0..12 {
+            flight.counter("t.tick", 1);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        dog.stop();
+        assert!(!path.exists(), "no stall report while the seq advances");
+    }
+
+    /// The always-on path must stay cheap enough to leave installed in
+    /// every run: pin the per-record cost the same way the disabled
+    /// path is pinned in stats.rs.
+    #[test]
+    fn flight_recording_is_cheap() {
+        let flight = Arc::new(FlightRecorder::new());
+        let iters: u32 = 200_000;
+        let _scope = crate::scoped(flight);
+        let start = Instant::now();
+        for _ in 0..iters {
+            crate::counter("t.hot", 1);
+        }
+        let per_call = start.elapsed().as_nanos() / u128::from(iters);
+        black_box(per_call);
+        assert!(
+            per_call < 1_000,
+            "flight-recorded counter took {per_call} ns/call (limit 1000 ns)"
+        );
+    }
+}

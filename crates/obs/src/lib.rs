@@ -59,11 +59,15 @@
 //! The counter/span name registry lives in [`names`]; docs/OBSERVABILITY.md
 //! maps each name to the experiment (E1–E10) it feeds.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `memalloc` opts back in for its one unsafe
+// surface (the `GlobalAlloc` impl); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod flight;
 pub mod json;
+pub mod memalloc;
 pub mod names;
 pub mod profile;
 pub mod sampler;
@@ -71,6 +75,8 @@ mod stats;
 pub mod trace;
 
 pub use events::{AuditRecorder, Event, EventLevel, FieldValue};
+pub use flight::{CrashWriter, FlightEntry, FlightKind, FlightRecorder, Watchdog};
+pub use memalloc::{MemSnapshot, ProbeStats, ThreadProbe, TrackingAllocator};
 pub use profile::{LabeledSnapshot, ProfileRecorder};
 pub use sampler::SpanSampler;
 pub use stats::{Histogram, HistogramSummary, SpanNode, StatsRecorder};

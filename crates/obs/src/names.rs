@@ -151,6 +151,43 @@ pub const SPAN_CLI_COMPILE: &str = "cli.compile";
 /// Span: the `profile` command (workload under attribution + sampler).
 pub const SPAN_CLI_PROFILE: &str = "cli.profile";
 
+// --- chc-obs::memalloc (memory attribution, E15) ---
+
+/// Allocations observed by the tracking allocator (reallocs count once
+/// more). Emitted into the stats snapshot at teardown by binaries that
+/// install [`chc_obs::memalloc::TrackingAllocator`](crate::memalloc).
+pub const MEM_ALLOCS: &str = "mem.allocs";
+/// Deallocations observed by the tracking allocator.
+pub const MEM_FREES: &str = "mem.frees";
+/// Cumulative bytes allocated process-wide.
+pub const MEM_BYTES_TOTAL: &str = "mem.bytes.total";
+/// Bytes live at snapshot time.
+pub const MEM_BYTES_LIVE: &str = "mem.bytes.live";
+/// Peak live bytes process-wide.
+pub const MEM_BYTES_PEAK: &str = "mem.bytes.peak";
+/// Labeled counter: bytes allocated while checking one class; the
+/// label is the class id (same scope as [`CHECK_CLASS_NANOS`]).
+pub const MEM_CHECK_CLASS_BYTES: &str = "mem.check.class.bytes";
+/// Labeled histogram: peak net-live growth (bytes) while checking one
+/// class; the label is the class id.
+pub const MEM_CHECK_CLASS_PEAK: &str = "mem.check.class.peak_live";
+/// Bytes allocated inside one whole `check(schema)` run.
+pub const MEM_CHECK_SCHEMA_BYTES: &str = "mem.check.bytes";
+/// Histogram: peak net-live growth per `check(schema)` run.
+pub const MEM_CHECK_SCHEMA_PEAK: &str = "mem.check.peak_live";
+/// Bytes allocated compiling SDL source into a `Schema`.
+pub const MEM_SDL_COMPILE_BYTES: &str = "mem.sdl.compile.bytes";
+/// Histogram: peak net-live growth per SDL compile.
+pub const MEM_SDL_COMPILE_PEAK: &str = "mem.sdl.compile.peak_live";
+/// Bytes allocated loading a `.chd` file into an `ExtentStore`.
+pub const MEM_EXTENT_LOAD_BYTES: &str = "mem.extent.load.bytes";
+/// Histogram: peak net-live growth per extent load.
+pub const MEM_EXTENT_LOAD_PEAK: &str = "mem.extent.load.peak_live";
+/// Bytes allocated executing one query plan.
+pub const MEM_QUERY_EXECUTE_BYTES: &str = "mem.query.execute.bytes";
+/// Histogram: peak net-live growth per query execution.
+pub const MEM_QUERY_EXECUTE_PEAK: &str = "mem.query.execute.peak_live";
+
 // --- chc-workloads load driver ---
 
 /// Span: the `load` command.

@@ -264,6 +264,21 @@ impl ProfileRecorder {
         Some((entries, (lh.other.0, lh.other.1)))
     }
 
+    /// Snapshot of one labeled histogram series as `(label, max)`,
+    /// unsorted. The per-class peak-live column of `chc profile --mem`
+    /// reads this; the `other` bucket's max is not tracked and is
+    /// omitted.
+    pub fn labeled_max(&self, name: &str) -> Option<Vec<(u64, u64)>> {
+        let inner = self.inner.lock().expect("profile lock");
+        let lh = inner.hists.get(name)?;
+        Some(
+            lh.entries
+                .iter()
+                .map(|(&l, &(_count, _sum, max))| (l, max))
+                .collect(),
+        )
+    }
+
     /// Names of all labeled counter series seen so far.
     pub fn labeled_names(&self) -> Vec<&'static str> {
         let inner = self.inner.lock().expect("profile lock");
@@ -463,6 +478,64 @@ mod tests {
         let kept: u64 = snap.entries.iter().map(|&(_, v)| v).sum();
         assert_eq!(kept + snap.other, total, "cap must not lose counts");
         assert_eq!(snap.other_labels, 10_000 - cap as u64);
+    }
+
+    #[test]
+    fn cap_zero_routes_everything_to_other_without_losing_counts() {
+        // `--label-cap 0` is the degenerate but legal configuration:
+        // no per-label series at all, every observation folded into
+        // `other`, and Σentries + other == total still holds.
+        let rec = ProfileRecorder::with_cap(0);
+        let mut total = 0u64;
+        let mut hist_count = 0u64;
+        let mut hist_sum = 0u64;
+        for label in 0..100u64 {
+            rec.labeled_counter("t.cap0", label, label + 1);
+            total += label + 1;
+            rec.labeled_histogram("t.cap0.hist", label, label * 10);
+            hist_count += 1;
+            hist_sum += label * 10;
+        }
+        let snap = rec.labeled("t.cap0").expect("series exists");
+        assert!(snap.entries.is_empty());
+        assert_eq!(snap.other, total, "cap 0 must not lose counts");
+        assert_eq!(snap.other_labels, 100);
+        let (entries, other) = rec.labeled_sums("t.cap0.hist").expect("hist exists");
+        assert!(entries.is_empty());
+        assert_eq!(other, (hist_count, hist_sum));
+    }
+
+    #[test]
+    fn cap_one_keeps_exactly_one_series_and_folds_the_rest() {
+        let rec = ProfileRecorder::with_cap(1);
+        let mut total = 0u64;
+        for round in 0..2u64 {
+            for label in 0..50u64 {
+                rec.labeled_counter("t.cap1", label, 2 + round);
+                total += 2 + round;
+            }
+        }
+        let snap = rec.labeled("t.cap1").expect("series exists");
+        assert_eq!(snap.entries, vec![(0, 5)], "first label stays exact");
+        let kept: u64 = snap.entries.iter().map(|&(_, v)| v).sum();
+        assert_eq!(kept + snap.other, total, "cap 1 must not lose counts");
+        assert_eq!(snap.other_labels, 49);
+        // The JSON document stays well-formed at the degenerate caps.
+        let doc = rec.to_json();
+        crate::json::parse(&doc.render()).expect("chc-profile/1 round-trips at cap 1");
+    }
+
+    #[test]
+    fn labeled_max_exposes_per_label_peaks() {
+        let rec = ProfileRecorder::with_cap(8);
+        rec.labeled_histogram("t.peaks", 3, 100);
+        rec.labeled_histogram("t.peaks", 3, 700);
+        rec.labeled_histogram("t.peaks", 3, 250);
+        rec.labeled_histogram("t.peaks", 9, 40);
+        let mut maxes = rec.labeled_max("t.peaks").expect("series exists");
+        maxes.sort_unstable();
+        assert_eq!(maxes, vec![(3, 700), (9, 40)]);
+        assert!(rec.labeled_max("t.absent").is_none());
     }
 
     #[test]

@@ -93,6 +93,14 @@ impl SpanSampler {
                     let (lock, cvar) = &*stop;
                     let mut stopped = lock.lock().expect("sampler stop lock");
                     loop {
+                        // Check before waiting: `stop()` may have set the
+                        // flag (and fired its never-heard notification)
+                        // before this thread first acquired the lock — a
+                        // long-interval wait would then sleep it out in
+                        // full instead of returning.
+                        if *stopped {
+                            return;
+                        }
                         let (guard, timeout) = cvar
                             .wait_timeout(stopped, interval)
                             .expect("sampler stop lock");

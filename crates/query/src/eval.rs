@@ -61,6 +61,10 @@ pub struct ExecResult {
 /// Checks the type-guided compiler eliminates are exactly this work saved.
 pub fn execute(schema: &Schema, store: &ExtentStore, plan: &Plan) -> ExecResult {
     let _span = chc_obs::span(chc_obs::names::SPAN_QUERY_EXECUTE);
+    let _mem = chc_obs::memalloc::span_mem(
+        chc_obs::names::MEM_QUERY_EXECUTE_BYTES,
+        chc_obs::names::MEM_QUERY_EXECUTE_PEAK,
+    );
     // Attribute everything this execution does (its own counters below,
     // plus the subtype queries the runtime safety checks trigger) to the
     // scanned class — `chc profile query` groups cost by that label.

@@ -31,6 +31,10 @@ use crate::token::Pos;
 /// ```
 pub fn compile(src: &str) -> Result<Schema, SdlError> {
     let _span = chc_obs::span(chc_obs::names::SPAN_SDL_COMPILE);
+    let _mem = chc_obs::memalloc::span_mem(
+        chc_obs::names::MEM_SDL_COMPILE_BYTES,
+        chc_obs::names::MEM_SDL_COMPILE_PEAK,
+    );
     lower_with_file(&parse(src)?, None)
 }
 
@@ -39,6 +43,10 @@ pub fn compile(src: &str) -> Result<Schema, SdlError> {
 /// schema render positions as `file:line:col` rather than `line:col`.
 pub fn compile_with_source(src: &str, file: &str) -> Result<Schema, SdlError> {
     let _span = chc_obs::span(chc_obs::names::SPAN_SDL_COMPILE);
+    let _mem = chc_obs::memalloc::span_mem(
+        chc_obs::names::MEM_SDL_COMPILE_BYTES,
+        chc_obs::names::MEM_SDL_COMPILE_PEAK,
+    );
     lower_with_file(&parse(src)?, Some(file))
 }
 

@@ -400,6 +400,20 @@ pub struct LoadSummary {
     pub windows: Vec<WindowPoint>,
     /// Target-provided setup rows for the report.
     pub setup: Vec<(String, String)>,
+    /// Memory footprint over the run, when the host binary installed
+    /// the [`chc_obs::memalloc`] tracking allocator (`None` otherwise).
+    pub mem: Option<MemUsage>,
+}
+
+/// Memory footprint of a load run, from the tracking allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemUsage {
+    /// Bytes allocated process-wide during the run.
+    pub bytes_allocated: u64,
+    /// Peak live bytes process-wide (includes setup before the run).
+    pub bytes_peak: u64,
+    /// Bytes live when the run finished.
+    pub bytes_live: u64,
 }
 
 impl LoadSummary {
@@ -485,8 +499,8 @@ impl LoadSummary {
         );
         let _ = writeln!(
             out,
-            "  {:<9} {:>9} {:>9} {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "op", "ops", "ok", "fail", "min", "p50", "p95", "p99", "p99.9", "max"
+            "  {:<9} {:>9} {:>9} {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "op", "ops", "ok", "fail", "min", "p50", "p95", "p99", "p99.9", "max", "mean"
         );
         let mut rows: Vec<(&str, u64, u64, u64, HistogramSummary)> = self
             .per_op
@@ -503,7 +517,7 @@ impl LoadSummary {
         for (name, ops, ok, fail, s) in rows {
             let _ = writeln!(
                 out,
-                "  {:<9} {:>9} {:>9} {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "  {:<9} {:>9} {:>9} {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 name,
                 ops,
                 ok,
@@ -514,6 +528,16 @@ impl LoadSummary {
                 fmt_ns(s.p99),
                 fmt_ns(s.p999),
                 fmt_ns(s.max),
+                fmt_ns(s.mean.round() as u64),
+            );
+        }
+        if let Some(m) = &self.mem {
+            let _ = writeln!(
+                out,
+                "  mem: {} allocated, peak live {}, live at end {}",
+                fmt_bytes(m.bytes_allocated),
+                fmt_bytes(m.bytes_peak),
+                fmt_bytes(m.bytes_live),
             );
         }
         if !self.windows.is_empty() {
@@ -535,6 +559,19 @@ impl LoadSummary {
             );
         }
         out
+    }
+}
+
+/// `1.2MB`-style byte rendering for tables and tiles.
+pub(crate) fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 1_024 {
+        format!("{bytes}B")
+    } else if bytes < 1_024 * 1_024 {
+        format!("{:.1}KB", bytes as f64 / 1_024.0)
+    } else if bytes < 1_024 * 1_024 * 1_024 {
+        format!("{:.1}MB", bytes as f64 / (1_024.0 * 1_024.0))
+    } else {
+        format!("{:.2}GB", bytes as f64 / (1_024.0 * 1_024.0 * 1_024.0))
     }
 }
 
@@ -604,6 +641,13 @@ pub fn run_load(target: &dyn Target, cfg: &LoadConfig) -> LoadSummary {
         }
         slow
     };
+    // Crash-injection knob for the diagnostics smoke tests: the worker
+    // that claims op index $CHC_CRASH_INJECT panics mid-run, exercising
+    // the panic hook, sink flushing, and the chc-crash/1 report.
+    let crash_inject: Option<u64> = std::env::var("CHC_CRASH_INJECT")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mem_before = chc_obs::memalloc::snapshot();
     let deadline = match cfg.stop {
         StopRule::Duration(d) => Some(d),
         StopRule::Ops(_) => None,
@@ -631,6 +675,9 @@ pub fn run_load(target: &dyn Target, cfg: &LoadConfig) -> LoadSummary {
                             if i >= n {
                                 break;
                             }
+                        }
+                        if crash_inject == Some(i) {
+                            panic!("load: crash injected at op {i} (CHC_CRASH_INJECT)");
                         }
                         let op = gen.op_at(i);
                         let issue = match cfg.mode {
@@ -737,6 +784,14 @@ pub fn run_load(target: &dyn Target, cfg: &LoadConfig) -> LoadSummary {
             })
             .collect(),
         setup: target.setup_rows(),
+        mem: chc_obs::memalloc::installed().then(|| {
+            let now = chc_obs::memalloc::snapshot();
+            MemUsage {
+                bytes_allocated: now.bytes_total.saturating_sub(mem_before.bytes_total),
+                bytes_peak: now.bytes_peak,
+                bytes_live: now.bytes_live,
+            }
+        }),
     }
 }
 

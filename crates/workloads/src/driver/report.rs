@@ -145,7 +145,7 @@ pub fn render_html(summary: &LoadSummary) -> String {
 
     // Summary tiles.
     out.push_str("<section>\n<div class=\"tiles\">\n");
-    let tiles = [
+    let mut tiles = vec![
         (format!("{}", summary.total_ops), "operations"),
         (format!("{:.0} /s", summary.throughput()), "throughput"),
         (fmt_ns(summary.overall.p50), "p50 latency"),
@@ -153,7 +153,12 @@ pub fn render_html(summary: &LoadSummary) -> String {
         (fmt_ns(summary.overall.p99), "p99 latency"),
         (fmt_ns(summary.overall.p999), "p99.9 latency"),
         (fmt_ns(summary.overall.max), "max latency"),
+        (fmt_ns(summary.overall.mean.round() as u64), "mean latency"),
     ];
+    if let Some(mem) = &summary.mem {
+        tiles.push((super::fmt_bytes(mem.bytes_peak), "peak live memory"));
+        tiles.push((super::fmt_bytes(mem.bytes_allocated), "bytes allocated"));
+    }
     for (value, label) in tiles {
         let _ = writeln!(
             out,

@@ -22,8 +22,8 @@ pub mod rng;
 pub mod vignettes;
 
 pub use driver::{
-    hospital_target, parse_duration, run_load, LibraryTarget, LoadConfig, LoadSummary, MixSpec,
-    Mode, OpGenerator, OpKind, OpOutcome, Operation, StopRule, Target, TargetOptions,
+    hospital_target, parse_duration, run_load, LibraryTarget, LoadConfig, LoadSummary, MemUsage,
+    MixSpec, Mode, OpGenerator, OpKind, OpOutcome, Operation, StopRule, Target, TargetOptions,
 };
 pub use hospital::{build as build_hospital, HospitalDb, HospitalIds, HospitalParams};
 pub use populate::{populate, PopulateParams};

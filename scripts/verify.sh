@@ -47,14 +47,41 @@ grep -q '"hot_classes"' "$prof"
 test "$(wc -l < "$pout")" -eq 1                     # stdout: one summary line
 grep -q '^profile: check' "$pout"
 
+echo "==> chc profile --mem smoke: per-class memory columns reconcile"
+mem_err="$(mktemp "${TMPDIR:-/tmp}/chc-profile-mem.XXXXXX.stderr")"
+trap 'rm -f "$prof" "$flame" "$pout" "$mem_err"' EXIT
+./target/release/chc profile check --hier classes=800,seed=1025 --mem \
+    >/dev/null 2>"$mem_err"
+grep -q ' alloc ' "$mem_err"                        # memory columns present
+grep -q 'mem: global .*% of global.*max class peak' "$mem_err"
+
 echo "==> chc load smoke: HTML report emitted and well-formed"
 report="$(mktemp "${TMPDIR:-/tmp}/chc-load-report.XXXXXX.html")"
-trap 'rm -f "$report" "$prof" "$flame" "$pout"' EXIT
+trap 'rm -f "$report" "$prof" "$flame" "$pout" "$mem_err"' EXIT
 ./target/release/chc load examples/data/hospital.sdl examples/data/hospital.chd \
     --ops 500 --threads 2 --seed 42 --report "$report" >/dev/null
 test -s "$report"
 iconv -f UTF-8 -t UTF-8 "$report" >/dev/null   # parses as UTF-8
 grep -q 'table class="summary"' "$report"      # has the summary table
 grep -q '<svg' "$report"                       # has the time-series charts
+
+echo "==> crash smoke: induced panic writes chc-crash/1, doctor renders it"
+crash_dir="$(mktemp -d "${TMPDIR:-/tmp}/chc-crash.XXXXXX")"
+dout="$(mktemp "${TMPDIR:-/tmp}/chc-doctor.XXXXXX.stdout")"
+trap 'rm -rf "$crash_dir"; rm -f "$report" "$prof" "$flame" "$pout" "$mem_err" "$dout"' EXIT
+if CHC_CRASH_INJECT=32 ./target/release/chc \
+    --stats-out "$crash_dir/stats.json" \
+    load --hier classes=60,seed=7 --ops 64 --threads 2 \
+    --crash-out "$crash_dir/crash.json" >/dev/null 2>&1; then
+    echo "FAIL: injected panic exited 0" >&2; exit 1
+fi
+test -s "$crash_dir/crash.json"
+grep -q '"schema":"chc-crash/1"' "$crash_dir/crash.json"
+grep -q '"reason":"panic"' "$crash_dir/crash.json"
+test -s "$crash_dir/stats.json"                # sinks flushed on the panic path
+./target/release/chc doctor "$crash_dir/crash.json" >"$dout" 2>/dev/null
+grep -q '^chc crash report (panic)' "$dout"    # doctor renders on stdout
+grep -q 'open spans at time of death:' "$dout"
+grep -q 'cli.load' "$dout"
 
 echo "OK: all verification gates passed"

@@ -3,6 +3,7 @@
 //! ```text
 //! chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>]
 //!     [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>]
+//!     [--crash-out <f.json>] [--watchdog <dur>]
 //!     <command> ...
 //!
 //! chc check <schema.sdl> [--explain]     type-check a schema (exit 1 on errors);
@@ -40,6 +41,7 @@
 //!                                        --report (docs/OBSERVABILITY.md)
 //! chc profile <check|validate|query> <schema.sdl | --hier classes=N,...>
 //!             [data.chd] ["query"] [--top N] [--label-cap K] [--interval 250us]
+//!             [--mem]
 //!                                        run the workload under cost
 //!                                        attribution and the span-stack
 //!                                        sampler: per-class hot-spot table
@@ -47,7 +49,14 @@
 //!                                        stderr, one summary line on
 //!                                        stdout, `chc-profile/1` JSON via
 //!                                        --profile-out, *sampled* folded
-//!                                        stacks via --flame-out
+//!                                        stacks via --flame-out; --mem adds
+//!                                        per-class bytes-allocated and
+//!                                        peak-live columns from the
+//!                                        tracking allocator
+//! chc doctor <crash.json>                render a `chc-crash/1` report
+//!                                        (written by --crash-out /
+//!                                        $CHC_CRASH_DIR on panic or stall)
+//!                                        human-readably on stdout
 //! ```
 //!
 //! Global flags may appear anywhere, before or after the subcommand.
@@ -71,8 +80,22 @@
 //! sampled stacks. All sinks compose freely, and all
 //! reporting and flushing happens even when the command fails — a
 //! failing `check` is exactly the run whose trace you want.
+//!
+//! Two layers are always on, independent of flags: the
+//! [`chc_obs::memalloc`] tracking allocator (every run knows its
+//! alloc/free/peak totals, surfaced as `mem.*` counters in the stats
+//! snapshot) and a [`chc_obs::FlightRecorder`] black box (a bounded
+//! ring of recent span transitions and counter deltas). A panic — or a
+//! stall, when `--watchdog <dur>` is armed — dumps a round-trip-checked
+//! `chc-crash/1` report to `--crash-out` (or `$CHC_CRASH_DIR`) with the
+//! flight tail, per-thread open-span stacks, counter and memory
+//! snapshots, and the registered schema digest; the same panic hook
+//! also flushes every `--*-out` sink, so a run that dies mid-command
+//! still leaves its evidence on disk. `chc doctor` renders the report.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use excuses::core::{
@@ -87,6 +110,13 @@ use excuses::sdl::{compile_with_source, print_schema};
 use excuses::types::{cond_of, render_cond, render_tyset, EntityFacts, TypeContext};
 use excuses::workloads::{parse_duration, HierarchyParams, MixSpec, StopRule};
 
+/// Every run is accounted by the tracking allocator: the fast path is a
+/// few relaxed atomics (pinned by a smoke test in `chc_obs::memalloc`),
+/// and in exchange `mem.*` counters, `chc profile --mem`, and crash
+/// reports all know where the bytes went.
+#[global_allocator]
+static ALLOC: chc_obs::memalloc::TrackingAllocator = chc_obs::memalloc::TrackingAllocator;
+
 /// Global observability flags, accepted anywhere on the command line.
 #[derive(Default)]
 struct Flags {
@@ -97,12 +127,119 @@ struct Flags {
     stats_out: Option<String>,
     audit_out: Option<String>,
     profile_out: Option<String>,
+    crash_out: Option<String>,
+    watchdog: Option<std::time::Duration>,
     audit_summary: bool,
     explain: bool,
 }
 
+/// The flag-selected recorders and their `--*-out` destinations,
+/// shareable with the panic hook: both the normal exit path and a
+/// mid-run panic must flush the same files, whichever comes first.
+struct Sinks {
+    stats: Option<Arc<chc_obs::StatsRecorder>>,
+    trace: Option<Arc<chc_obs::TraceRecorder>>,
+    audit: Option<Arc<chc_obs::AuditRecorder>>,
+    profile: Option<Arc<chc_obs::ProfileRecorder>>,
+    stats_out: Option<String>,
+    trace_out: Option<String>,
+    flame_out: Option<String>,
+    audit_out: Option<String>,
+    profile_out: Option<String>,
+    /// Under `chc profile` the enriched document is written by
+    /// `run_profile_cmd`; the bare form is only flushed here when a
+    /// panic kept that from happening.
+    is_profile: bool,
+    mem_done: AtomicBool,
+    flushed: AtomicBool,
+}
+
+impl Sinks {
+    /// Mirrors the tracking allocator's totals into the installed
+    /// recorders as `mem.*` counters, once, while the global recorder
+    /// is still up (call before [`chc_obs::clear_global`]).
+    fn record_mem_counters(&self) {
+        if self.mem_done.swap(true, Ordering::SeqCst) || !chc_obs::memalloc::installed() {
+            return;
+        }
+        let m = chc_obs::memalloc::snapshot();
+        chc_obs::counter(chc_obs::names::MEM_ALLOCS, m.allocs);
+        chc_obs::counter(chc_obs::names::MEM_FREES, m.frees);
+        chc_obs::counter(chc_obs::names::MEM_BYTES_TOTAL, m.bytes_total);
+        chc_obs::counter(chc_obs::names::MEM_BYTES_LIVE, m.bytes_live);
+        chc_obs::counter(chc_obs::names::MEM_BYTES_PEAK, m.bytes_peak);
+    }
+
+    /// Writes every configured `--*-out` file, once; later calls are
+    /// no-ops, so the panic hook and the normal exit path can race
+    /// safely. Returns the write errors.
+    fn flush_files(&self, on_panic: bool) -> Vec<String> {
+        if self.flushed.swap(true, Ordering::SeqCst) {
+            return Vec::new();
+        }
+        let mut errs = Vec::new();
+        let mut write = |path: &Option<String>, body: String| {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, body) {
+                    errs.push(format!("{path}: {e}"));
+                }
+            }
+        };
+        if let Some(r) = &self.stats {
+            write(&self.stats_out, r.to_json_lines());
+        }
+        if let Some(r) = &self.trace {
+            write(&self.trace_out, r.to_chrome_trace());
+            write(&self.flame_out, r.to_folded_stacks());
+        }
+        if let Some(r) = &self.audit {
+            write(&self.audit_out, r.to_json_lines());
+        }
+        if !self.is_profile || on_panic {
+            if let Some(r) = &self.profile {
+                write(&self.profile_out, r.to_json().render() + "\n");
+            }
+        }
+        errs
+    }
+}
+
+/// FNV-1a, for the schema digest embedded in crash reports.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Registers the compiled schema in the crash-report context, so a
+/// post-mortem names the exact input that was being processed.
+fn register_schema_context(path: &str, src: &str) {
+    chc_obs::flight::set_context("schema_file", path);
+    chc_obs::flight::set_context("schema_digest", &format!("{:016x}", fnv1a64(src.as_bytes())));
+}
+
+/// Best-effort extraction of a panic payload for the crash report.
+fn panic_message(info: &std::panic::PanicHookInfo<'_>) -> String {
+    let payload = if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    match info.location() {
+        Some(loc) => format!("{payload} (at {loc})"),
+        None => payload,
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    chc_obs::flight::set_context("bin", concat!("chc ", env!("CARGO_PKG_VERSION")));
+    chc_obs::flight::set_context("argv", &raw.join(" "));
     let (args, flags) = match take_flags(raw) {
         Ok(parsed) => parsed,
         Err(msg) => {
@@ -142,7 +279,11 @@ fn main() -> ExitCode {
     let sampler = profile_args
         .as_ref()
         .map(|pa| Arc::new(chc_obs::SpanSampler::start(pa.interval)));
-    let mut sinks: Vec<Arc<dyn chc_obs::Recorder>> = Vec::new();
+    // The black box is always on — the point of a flight recorder is
+    // that it was running *before* anything went wrong — so every chc
+    // run installs a recorder even with no flags at all.
+    let flight = Arc::new(chc_obs::FlightRecorder::new());
+    let mut sinks: Vec<Arc<dyn chc_obs::Recorder>> = vec![flight.clone()];
     if let Some(r) = &stats_rec {
         sinks.push(r.clone());
     }
@@ -158,15 +299,75 @@ fn main() -> ExitCode {
     if let Some(r) = &sampler {
         sinks.push(r.clone());
     }
-    let installed = !sinks.is_empty();
-    if installed {
-        let recorder: Arc<dyn chc_obs::Recorder> = if sinks.len() == 1 {
-            sinks.pop().expect("one sink")
-        } else {
-            Arc::new(chc_obs::FanoutRecorder::new(sinks))
-        };
-        chc_obs::set_global(recorder);
+    let recorder: Arc<dyn chc_obs::Recorder> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        Arc::new(chc_obs::FanoutRecorder::new(sinks))
+    };
+    chc_obs::set_global(recorder);
+
+    let sinks = Arc::new(Sinks {
+        stats: stats_rec.clone(),
+        trace: trace_rec.clone(),
+        audit: audit_rec.clone(),
+        profile: profile_rec.clone(),
+        stats_out: flags.stats_out.clone(),
+        trace_out: flags.trace_out.clone(),
+        flame_out: flags.flame_out.clone(),
+        audit_out: flags.audit_out.clone(),
+        profile_out: flags.profile_out.clone(),
+        is_profile,
+        mem_done: AtomicBool::new(false),
+        flushed: AtomicBool::new(false),
+    });
+
+    // Crash destination: --crash-out wins, else $CHC_CRASH_DIR gets a
+    // pid-stamped file. With neither, panics still flush the sinks but
+    // no chc-crash/1 report is written.
+    let crash_path: Option<PathBuf> = flags
+        .crash_out
+        .as_ref()
+        .map(PathBuf::from)
+        .or_else(|| {
+            std::env::var("CHC_CRASH_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .map(|d| {
+                    std::path::Path::new(&d)
+                        .join(format!("chc-crash-{}.json", std::process::id()))
+                })
+        });
+    let crash_writer = Arc::new(chc_obs::CrashWriter::new(flight.clone(), crash_path));
+    {
+        let hook_sinks = sinks.clone();
+        let hook_crash = crash_writer.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            // The global recorder is still installed mid-panic, so the
+            // mem.* counters land in the flushed snapshots too.
+            hook_sinks.record_mem_counters();
+            match hook_crash.dump("panic", &panic_message(info)) {
+                Some(Ok(path)) => eprintln!("chc: crash report written to {}", path.display()),
+                Some(Err(e)) => eprintln!("chc: failed to write crash report: {e}"),
+                None => {}
+            }
+            for err in hook_sinks.flush_files(true) {
+                eprintln!("chc: flush during panic: {err}");
+            }
+        }));
     }
+    let mut watchdog = match flags.watchdog {
+        Some(timeout) => {
+            if crash_writer.path().is_none() {
+                eprintln!("error: --watchdog needs --crash-out or $CHC_CRASH_DIR");
+                return ExitCode::from(2);
+            }
+            Some(chc_obs::Watchdog::start(crash_writer.clone(), timeout))
+        }
+        None => None,
+    };
+
     let outcome = match &profile_args {
         Some(pa) => run_profile_cmd(
             pa,
@@ -176,13 +377,14 @@ fn main() -> ExitCode {
         ),
         None => run(&args, &flags),
     };
+    if let Some(dog) = &mut watchdog {
+        dog.stop();
+    }
     // Report and flush unconditionally: a failing command is exactly the
     // run whose trace and counters matter most. Human-readable reports go
     // to stderr so stdout stays machine-parseable under `--format json`.
-    if installed {
-        chc_obs::clear_global();
-    }
-    let mut flush_err = None;
+    sinks.record_mem_counters();
+    chc_obs::clear_global();
     if let Some(r) = &stats_rec {
         if flags.trace {
             eprint!("{}", r.render_tree());
@@ -190,45 +392,13 @@ fn main() -> ExitCode {
         if flags.stats {
             eprint!("{}", r.render_counters());
         }
-        if let Some(path) = &flags.stats_out {
-            if let Err(e) = std::fs::write(path, r.to_json_lines()) {
-                flush_err = Some(format!("{path}: {e}"));
-            }
-        }
-    }
-    if let Some(r) = &trace_rec {
-        if let Some(path) = &flags.trace_out {
-            if let Err(e) = std::fs::write(path, r.to_chrome_trace()) {
-                flush_err = Some(format!("{path}: {e}"));
-            }
-        }
-        if let Some(path) = &flags.flame_out {
-            if let Err(e) = std::fs::write(path, r.to_folded_stacks()) {
-                flush_err = Some(format!("{path}: {e}"));
-            }
-        }
     }
     if let Some(r) = &audit_rec {
-        if let Some(path) = &flags.audit_out {
-            if let Err(e) = std::fs::write(path, r.to_json_lines()) {
-                flush_err = Some(format!("{path}: {e}"));
-            }
-        }
         if flags.audit_summary {
             print!("{}", render_audit_summary(r));
         }
     }
-    // Under `chc profile` the enriched document (hot classes resolved to
-    // names, sampled stacks) is written by `run_profile_cmd`, which has
-    // the schema in hand; here only the bare-attribution form used by
-    // every other subcommand is flushed.
-    if !is_profile {
-        if let (Some(r), Some(path)) = (&profile_rec, &flags.profile_out) {
-            if let Err(e) = std::fs::write(path, r.to_json().render() + "\n") {
-                flush_err = Some(format!("{path}: {e}"));
-            }
-        }
-    }
+    let flush_err = sinks.flush_files(false).into_iter().next();
     let code = match outcome {
         Ok(code) => code,
         Err(msg) => {
@@ -256,11 +426,11 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
         let mut value_of = |name: &str, inline: Option<&str>| -> Result<String, String> {
             match inline {
                 Some(v) if !v.is_empty() => Ok(v.to_string()),
-                Some(_) => Err(format!("{name} needs a file path")),
+                Some(_) => Err(format!("{name} needs a value")),
                 None => it
                     .next()
                     .filter(|v| !v.starts_with("--"))
-                    .ok_or_else(|| format!("{name} needs a file path")),
+                    .ok_or_else(|| format!("{name} needs a value")),
             }
         };
         match arg.as_str() {
@@ -273,6 +443,10 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
             "--stats-out" => flags.stats_out = Some(value_of("--stats-out", None)?),
             "--audit-out" => flags.audit_out = Some(value_of("--audit-out", None)?),
             "--profile-out" => flags.profile_out = Some(value_of("--profile-out", None)?),
+            "--crash-out" => flags.crash_out = Some(value_of("--crash-out", None)?),
+            "--watchdog" => {
+                flags.watchdog = Some(parse_duration(&value_of("--watchdog", None)?)?)
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--trace-out=") {
                     flags.trace_out = Some(value_of("--trace-out", Some(v))?);
@@ -284,6 +458,10 @@ fn take_flags(args: Vec<String>) -> Result<(Vec<String>, Flags), String> {
                     flags.audit_out = Some(value_of("--audit-out", Some(v))?);
                 } else if let Some(v) = other.strip_prefix("--profile-out=") {
                     flags.profile_out = Some(value_of("--profile-out", Some(v))?);
+                } else if let Some(v) = other.strip_prefix("--crash-out=") {
+                    flags.crash_out = Some(value_of("--crash-out", Some(v))?);
+                } else if let Some(v) = other.strip_prefix("--watchdog=") {
+                    flags.watchdog = Some(parse_duration(&value_of("--watchdog", Some(v))?)?);
                 } else {
                     rest.push(arg);
                 }
@@ -565,6 +743,7 @@ fn run_load_cmd(args: &[String]) -> Result<ExitCode, String> {
         (Some(params), _) => (generate(params).schema, "hier".to_string()),
         (None, Some(path)) => {
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            register_schema_context(path, &src);
             let schema = {
                 let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
                 compile_with_source(&src, path).map_err(|e| format!("{path}: {e}"))?
@@ -688,11 +867,13 @@ struct ProfileArgs {
     label_cap: usize,
     /// Sampling interval of the span-stack sampler.
     interval: std::time::Duration,
+    /// Add per-class memory columns from the tracking allocator.
+    mem: bool,
 }
 
 fn parse_profile_args(args: &[String]) -> Result<ProfileArgs, String> {
     let usage = "usage: chc profile <check|validate|query> <schema.sdl | --hier classes=N,...> \
-                 [data.chd] [\"query\"] [--top N] [--label-cap K] [--interval 250us] \
+                 [data.chd] [\"query\"] [--top N] [--label-cap K] [--interval 250us] [--mem] \
                  [--profile-out f.json] [--flame-out f.folded]";
     let mut pa = ProfileArgs {
         workload: ProfileWorkload::Check,
@@ -703,6 +884,7 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileArgs, String> {
         top: 10,
         label_cap: 4096,
         interval: std::time::Duration::from_micros(250),
+        mem: false,
     };
     let mut workload_seen = false;
     let mut it = args.iter();
@@ -720,6 +902,7 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileArgs, String> {
                     .map_err(|e| format!("--label-cap: {e}"))?
             }
             "--interval" => pa.interval = parse_duration(value_of("--interval")?)?,
+            "--mem" => pa.mem = true,
             "--hier" => pa.hier = Some(parse_hier_spec(value_of("--hier")?)?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown profile option `{other}`\n{usage}"))
@@ -790,6 +973,7 @@ fn run_profile_cmd(
         ),
         (None, Some(path)) => {
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            register_schema_context(path, &src);
             let schema = {
                 let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
                 compile_with_source(&src, path).map_err(|e| format!("{path}: {e}"))?
@@ -877,6 +1061,11 @@ fn run_profile_cmd(
     let sat_by_class = labeled_of(chc_obs::names::SAT_CALLS);
     let contra_by_class = labeled_of(chc_obs::names::CHECK_CONTRADICTIONS);
     let rows_by_class = labeled_of(chc_obs::names::QUERY_ROWS_SCANNED);
+    let mem_bytes_by_class = labeled_of(chc_obs::names::MEM_CHECK_CLASS_BYTES);
+    let mem_peak_by_class: std::collections::BTreeMap<u64, u64> = profile
+        .labeled_max(chc_obs::names::MEM_CHECK_CLASS_PEAK)
+        .map(|v| v.into_iter().collect())
+        .unwrap_or_default();
 
     let subtype_total = profile.counter_value(chc_obs::names::SUBTYPE_QUERIES);
     let subtype_distinct = profile.counter_value(chc_obs::names::SUBTYPE_QUERIES_DISTINCT);
@@ -912,11 +1101,19 @@ fn run_profile_cmd(
         format_ns_cli(sampler.interval().as_nanos().min(u64::MAX as u128) as u64),
         sampler.folded_counts().len(),
     );
-    let _ = writeln!(
-        report,
-        "\n  {:<28} {:>10} {:>7} {:>9} {:>7} {:>7} {:>9}",
-        "class", "time", "share", "subtype", "sat", "contra", "rows"
-    );
+    if pa.mem {
+        let _ = writeln!(
+            report,
+            "\n  {:<28} {:>10} {:>7} {:>9} {:>7} {:>7} {:>9} {:>10} {:>10}",
+            "class", "time", "share", "subtype", "sat", "contra", "rows", "alloc", "peak"
+        );
+    } else {
+        let _ = writeln!(
+            report,
+            "\n  {:<28} {:>10} {:>7} {:>9} {:>7} {:>7} {:>9}",
+            "class", "time", "share", "subtype", "sat", "contra", "rows"
+        );
+    }
     let shown = nanos_by_class.iter().take(pa.top);
     for &(label, _count, sum) in shown {
         let class = chc_model::ClassId::from_raw(label as u32);
@@ -925,23 +1122,63 @@ fn run_profile_cmd(
         } else {
             100.0 * sum as f64 / total_nanos as f64
         };
-        let _ = writeln!(
-            report,
-            "  {:<28} {:>10} {:>6.1}% {:>9} {:>7} {:>7} {:>9}",
-            schema.class_name(class),
-            format_ns_cli(sum),
-            share,
-            subtype_by_class.get(&label).copied().unwrap_or(0),
-            sat_by_class.get(&label).copied().unwrap_or(0),
-            contra_by_class.get(&label).copied().unwrap_or(0),
-            rows_by_class.get(&label).copied().unwrap_or(0),
-        );
+        if pa.mem {
+            let _ = writeln!(
+                report,
+                "  {:<28} {:>10} {:>6.1}% {:>9} {:>7} {:>7} {:>9} {:>10} {:>10}",
+                schema.class_name(class),
+                format_ns_cli(sum),
+                share,
+                subtype_by_class.get(&label).copied().unwrap_or(0),
+                sat_by_class.get(&label).copied().unwrap_or(0),
+                contra_by_class.get(&label).copied().unwrap_or(0),
+                rows_by_class.get(&label).copied().unwrap_or(0),
+                format_bytes_cli(mem_bytes_by_class.get(&label).copied().unwrap_or(0)),
+                format_bytes_cli(mem_peak_by_class.get(&label).copied().unwrap_or(0)),
+            );
+        } else {
+            let _ = writeln!(
+                report,
+                "  {:<28} {:>10} {:>6.1}% {:>9} {:>7} {:>7} {:>9}",
+                schema.class_name(class),
+                format_ns_cli(sum),
+                share,
+                subtype_by_class.get(&label).copied().unwrap_or(0),
+                sat_by_class.get(&label).copied().unwrap_or(0),
+                contra_by_class.get(&label).copied().unwrap_or(0),
+                rows_by_class.get(&label).copied().unwrap_or(0),
+            );
+        }
     }
     if nanos_by_class.len() > pa.top {
         let _ = writeln!(
             report,
             "  … {} more class(es); raise --top or read --profile-out",
             nanos_by_class.len() - pa.top
+        );
+    }
+    if pa.mem {
+        // Reconciliation against the process-wide allocator totals: the
+        // per-class series can only account for what ran inside
+        // `check_class`, so Σbytes ≤ global allocated and every class
+        // peak ≤ global peak — if either inequality fails, the
+        // attribution is broken.
+        let m = chc_obs::memalloc::snapshot();
+        let class_bytes: u64 = mem_bytes_by_class.values().sum();
+        let class_peak = mem_peak_by_class.values().copied().max().unwrap_or(0);
+        let pct = if m.bytes_total == 0 {
+            0.0
+        } else {
+            100.0 * class_bytes as f64 / m.bytes_total as f64
+        };
+        let _ = writeln!(
+            report,
+            "  mem: global {} allocated, peak live {}; per-class Σ {} ({pct:.1}% of global), \
+             max class peak {}",
+            format_bytes_cli(m.bytes_total),
+            format_bytes_cli(m.bytes_peak),
+            format_bytes_cli(class_bytes),
+            format_bytes_cli(class_peak),
         );
     }
     eprint!("{report}");
@@ -1018,9 +1255,22 @@ fn profile_json(
         ("idle", JsonValue::number(sampler.idle() as f64)),
         ("stacks", stacks),
     ]);
+    let m = chc_obs::memalloc::snapshot();
+    let mem_obj = JsonValue::object([
+        (
+            "installed",
+            JsonValue::number(f64::from(u8::from(chc_obs::memalloc::installed()))),
+        ),
+        ("allocs", JsonValue::number(m.allocs as f64)),
+        ("frees", JsonValue::number(m.frees as f64)),
+        ("bytes_total", JsonValue::number(m.bytes_total as f64)),
+        ("bytes_live", JsonValue::number(m.bytes_live as f64)),
+        ("bytes_peak", JsonValue::number(m.bytes_peak as f64)),
+    ]);
     JsonValue::object([
         ("schema", JsonValue::string("chc-profile/1")),
         ("workload", JsonValue::string(pa.workload.name())),
+        ("mem", mem_obj),
         ("cap", part("cap")),
         ("counters", part("counters")),
         ("labeled", part("labeled")),
@@ -1028,6 +1278,19 @@ fn profile_json(
         ("hot_classes", hot),
         ("sampler", sampler_obj),
     ])
+}
+
+/// `1.2MB`-style rendering for the memory columns.
+fn format_bytes_cli(bytes: u64) -> String {
+    if bytes < 1_024 {
+        format!("{bytes}B")
+    } else if bytes < 1_024 * 1_024 {
+        format!("{:.1}KB", bytes as f64 / 1_024.0)
+    } else if bytes < 1_024 * 1_024 * 1_024 {
+        format!("{:.1}MB", bytes as f64 / (1_024.0 * 1_024.0))
+    } else {
+        format!("{:.2}GB", bytes as f64 / (1_024.0 * 1_024.0 * 1_024.0))
+    }
 }
 
 /// `1.2us`-style rendering for the stdout summary line.
@@ -1041,9 +1304,153 @@ fn format_ns_cli(ns: u64) -> String {
     }
 }
 
+/// `chc doctor <crash.json>`: render a `chc-crash/1` report (written by
+/// the panic hook or the `--watchdog` stall detector) human-readably.
+/// The rendering is the command's *output*, so unlike the per-command
+/// summaries it goes to stdout.
+fn run_doctor_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: chc doctor <crash.json>";
+    let path = args.first().ok_or(usage)?;
+    if args.len() > 1 {
+        return Err(usage.to_string());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = chc_obs::json::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("chc-crash/1") => {}
+        Some(other) => return Err(format!("{path}: unsupported schema `{other}` (want chc-crash/1)")),
+        None => return Err(format!("{path}: missing `schema` tag (want chc-crash/1)")),
+    }
+    print!("{}", render_crash_report(&doc));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The human-readable rendering behind `chc doctor`.
+fn render_crash_report(doc: &chc_obs::json::JsonValue) -> String {
+    use chc_obs::json::JsonValue;
+    use std::fmt::Write as _;
+
+    let str_of = |v: Option<&JsonValue>| v.and_then(|v| v.as_str()).unwrap_or("?").to_string();
+    let num_of = |v: Option<&JsonValue>| v.and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let mut out = String::new();
+
+    let reason = str_of(doc.get("reason"));
+    let _ = writeln!(out, "chc crash report ({reason})");
+    let _ = writeln!(out, "  message: {}", str_of(doc.get("message")));
+    let _ = writeln!(
+        out,
+        "  pid {} after {}",
+        num_of(doc.get("pid")) as u64,
+        format_ns_cli((num_of(doc.get("uptime_us")) as u64).saturating_mul(1_000)),
+    );
+
+    if let Some(JsonValue::Obj(ctx)) = doc.get("context") {
+        if !ctx.is_empty() {
+            let _ = writeln!(out, "\ncontext:");
+            for (k, v) in ctx {
+                let _ = writeln!(out, "  {:<14} {}", k, v.as_str().unwrap_or("?"));
+            }
+        }
+    }
+
+    if let Some(mem) = doc.get("mem") {
+        let installed = num_of(mem.get("installed")) as u64 == 1;
+        if installed {
+            let _ = writeln!(
+                out,
+                "\nmemory: {} allocated over {} allocs; live {} ({} allocs), peak {}",
+                format_bytes_cli(num_of(mem.get("bytes_total")) as u64),
+                num_of(mem.get("allocs")) as u64,
+                format_bytes_cli(num_of(mem.get("bytes_live")) as u64),
+                (num_of(mem.get("allocs")) as u64).saturating_sub(num_of(mem.get("frees")) as u64),
+                format_bytes_cli(num_of(mem.get("bytes_peak")) as u64),
+            );
+        } else {
+            let _ = writeln!(out, "\nmemory: tracking allocator not installed in this binary");
+        }
+    }
+
+    if let Some(JsonValue::Obj(counters)) = doc.get("counters") {
+        if !counters.is_empty() {
+            let mut rows: Vec<(&str, u64)> = counters
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_f64().unwrap_or(0.0) as u64))
+                .collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            let shown = rows.len().min(20);
+            let _ = writeln!(out, "\ncounters (top {shown} of {}):", rows.len());
+            for (name, value) in rows.iter().take(shown) {
+                let _ = writeln!(out, "  {name:<32} {value:>12}");
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\nopen spans at time of death:");
+    let threads = doc.get("threads").and_then(|v| v.as_array()).unwrap_or(&[]);
+    if threads.is_empty() {
+        let _ = writeln!(out, "  (none)");
+    }
+    for t in threads {
+        let stack: Vec<&str> = t
+            .get("stack")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| v.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  thread {}: {}",
+            num_of(t.get("thread")) as u64,
+            if stack.is_empty() {
+                "(idle)".to_string()
+            } else {
+                stack.join(" > ")
+            },
+        );
+    }
+
+    let flight = doc.get("flight").and_then(|v| v.as_array()).unwrap_or(&[]);
+    let dropped = num_of(doc.get("flight_dropped")) as u64;
+    let shown = flight.len().min(40);
+    let skipped = flight.len() - shown;
+    let _ = write!(out, "\nflight tail (last {shown} of {} recorded", flight.len());
+    if dropped > 0 {
+        let _ = write!(out, ", {dropped} older dropped from ring");
+    }
+    let _ = writeln!(out, "):");
+    if skipped > 0 {
+        let _ = writeln!(out, "  … {skipped} earlier entr(ies) elided; read the JSON for all");
+    }
+    for e in flight.iter().skip(skipped) {
+        let kind = str_of(e.get("kind"));
+        let value = num_of(e.get("value")) as u64;
+        let suffix = match kind.as_str() {
+            "exit" => format!(" ({})", format_ns_cli(value)),
+            "counter" => format!(" +{value}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  [{:>8}] t+{:<10} thread {} {:<7} {}{}",
+            num_of(e.get("seq")) as u64,
+            format_ns_cli((num_of(e.get("t_us")) as u64).saturating_mul(1_000)),
+            num_of(e.get("thread")) as u64,
+            kind,
+            str_of(e.get("name")),
+            suffix,
+        );
+    }
+    out
+}
+
 fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>] <check|lint|print|virtualize|explain|analyze|query|validate|load|profile> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>] [--crash-out <f.json>] [--watchdog <dur>] <check|lint|print|virtualize|explain|analyze|query|validate|load|profile|doctor> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
+    // `doctor` reads a crash report, not a schema: skip the compile.
+    if cmd == "doctor" {
+        return run_doctor_cmd(&args[1..]);
+    }
     // `load` acquires its schema itself (`--hier` generates one instead
     // of reading a file), so it skips the generic compile below.
     if cmd == "load" {
@@ -1064,6 +1471,7 @@ fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
     };
     let path = path.as_str();
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    register_schema_context(path, &src);
     let schema = {
         let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
         compile_with_source(&src, path).map_err(|e| format!("{path}: {e}"))?
