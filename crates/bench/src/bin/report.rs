@@ -33,9 +33,10 @@ use chc_baselines::{
     build_anchor_lattice, default_range, polymorphism_preserved, reconcile, DefaultError,
     ManualSetStore,
 };
-use chc_bench::{chain_schema, sized_schema, CHAIN_DEPTHS, EPSILONS, SCHEMA_SIZES};
+use chc_bench::{chain_schema, evolved_pair, sized_schema, CHAIN_DEPTHS, EPSILONS, SCHEMA_SIZES};
 use chc_core::{
-    check, evolve, validate_object, MissingPolicy, Semantics, ValidationOptions,
+    check, check_incremental, diff_schemas, evolve, impact_cone, validate_object, MissingPolicy,
+    Semantics, ValidationOptions,
 };
 use chc_extent::ExtentStore;
 use chc_model::{AttrSpec, ClassId, Range, Value};
@@ -93,6 +94,9 @@ fn main() {
     }
     if want("E15") {
         e15();
+    }
+    if want("E16") {
+        e16();
     }
     if want("A1") {
         a1();
@@ -820,6 +824,59 @@ fn e15() {
          dominated by bytes that *stay* resident (the stored attribute values), \
          so footprint scales linearly with object count, matching the paper's \
          claim that excuses add schema-side cost, not per-object cost.\n"
+    );
+}
+
+fn e16() {
+    println!("## E16 — incremental re-check after a single-class edit\n");
+    println!(
+        "One class's enum range is narrowed (`single_class_edit`, excuses kept) in a \
+         generated hierarchy of n classes. `diff` semantically matches the two \
+         compiled schemas and computes the impact cone over the is-a DAG; \
+         `incremental` is `check_incremental` — re-check the cone, carry the rest \
+         of the old verdict over. §6's locality desideratum predicts the \
+         re-check cost tracks the cone, not n; the `full` column re-runs the \
+         whole checker for comparison. Reproduce interactively with \
+         `chc check --incremental --since old.sdl new.sdl`.\n"
+    );
+    println!("| classes | cone | diff (µs) | incremental (µs) | full check (µs) | speedup |");
+    println!("|---:|---:|---:|---:|---:|---:|");
+    for &n in &SCHEMA_SIZES {
+        let (old, new) = evolved_pair(n);
+        let old_report = check(&old);
+        let diff = diff_schemas(&old, &new);
+        let cone = impact_cone(&old, &new, &diff).classes.len();
+        let iters = (2_000 / n).max(5);
+        let t_diff = time_us(iters, || {
+            let d = diff_schemas(&old, &new);
+            std::hint::black_box(impact_cone(&old, &new, &d));
+        });
+        let inc = check_incremental(&old, &old_report, &new);
+        assert_eq!(
+            inc.report.diagnostics,
+            check(&new).diagnostics,
+            "incremental must agree with full at n = {n}"
+        );
+        let t_inc = time_us(iters, || {
+            std::hint::black_box(check_incremental(&old, &old_report, &new));
+        });
+        let t_full = time_us(iters, || {
+            std::hint::black_box(check(&new));
+        });
+        println!(
+            "| {n} | {cone} | {t_diff:.1} | {t_inc:.1} | {t_full:.1} | {:.1}× |",
+            t_full / t_inc
+        );
+    }
+    println!(
+        "\nThe cone of a leaf-ish edit stays near-constant as the schema grows, so \
+         the expensive part of checking — the k-way joint-satisfiability sweep, \
+         superlinear in practice — runs on O(cone) classes only. What remains in \
+         the incremental column is the diff itself: one linear walk over both \
+         schemas to match declarations and translate the carried-over verdict. \
+         That is why incremental tracks the diff column while the full check \
+         pulls away superlinearly — the dirty-set foundation ROADMAP item 1(c) \
+         asked for.\n"
     );
 }
 

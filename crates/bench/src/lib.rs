@@ -31,6 +31,20 @@ pub fn sized_schema(n: usize) -> Schema {
         .schema
 }
 
+/// An evolution pair for E16: a generated schema of `n` classes and the
+/// same schema after one [`chc_workloads::single_class_edit`] narrowing
+/// (deterministic per size). The edit lands on a small subtree, so the
+/// diff's impact cone stays near-constant while `n` grows.
+pub fn evolved_pair(n: usize) -> (Schema, Schema) {
+    let gen = generate(&HierarchyParams {
+        classes: n,
+        seed: 0xE16 + n as u64,
+        ..Default::default()
+    });
+    let (new, _site) = chc_workloads::single_class_edit(&gen, 0);
+    (gen.schema, new)
+}
+
 /// A pure chain `C0 <- C1 <- … <- C(d-1)` where the root declares `attr0`
 /// and the leaf contradicts-and-excuses it — worst case for search-based
 /// default inheritance, constant-time for the excuse index.

@@ -16,6 +16,8 @@ use chc_model::{AttrSpec, ClassId, ModelError, Range, Schema, SchemaBuilder, Sym
 use crate::check::{check, check_class};
 use crate::diagnostics::CheckReport;
 
+pub mod diff;
+
 /// The classes whose diagnostics can change when `class`'s definition is
 /// edited: `class` itself and its descendants. Everything a declaration
 /// check or joint-satisfiability check consults — inherited constraints,

@@ -7,6 +7,24 @@ use std::fmt;
 /// CLI's `--allow/--warn/--deny` flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
+    /// D001: a `chc diff` edit narrowed (or incomparably changed) a range
+    /// that stored objects may already inhabit — every extent below the
+    /// edited class needs re-validation before the new schema is trusted.
+    BreakingNarrowing,
+    /// D002: an edit made a previously coherent class incoherent — the
+    /// §5.1 k-way admission check (`admits_common_value`) passed in the
+    /// old schema and fails in the new one; the derivation is attached.
+    ContradictionIntroduced,
+    /// D003: an `excuses p on C` clause was retired while the declared
+    /// range still contradicts the constraint it excused — objects
+    /// admitted only under that excuse are orphaned (§5.2 semantics).
+    ExcuseRetiredOrphan,
+    /// D004: info-level — a range was widened with no subclass forced to
+    /// react; silent for old data, but old readers may see new values.
+    SilentWidening,
+    /// D005: info-level — the impact cone of one edit: how many classes'
+    /// verdicts may flip and how many extents need re-validation.
+    ConeReport,
     /// L001: a class whose constraints (with excuses folded in) admit no
     /// value for some attribute — the class can have no instances. The
     /// CLASSIC notion of an *incoherent* concept, applied to §5.1 schemas.
@@ -50,7 +68,12 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every lint, in code order.
-    pub const ALL: [LintCode; 11] = [
+    pub const ALL: [LintCode; 16] = [
+        LintCode::BreakingNarrowing,
+        LintCode::ContradictionIntroduced,
+        LintCode::ExcuseRetiredOrphan,
+        LintCode::SilentWidening,
+        LintCode::ConeReport,
         LintCode::IncoherentClass,
         LintCode::DeadExcuse,
         LintCode::UnreachableBranch,
@@ -67,6 +90,11 @@ impl LintCode {
     /// The stable `L00x` code.
     pub fn code(self) -> &'static str {
         match self {
+            LintCode::BreakingNarrowing => "D001",
+            LintCode::ContradictionIntroduced => "D002",
+            LintCode::ExcuseRetiredOrphan => "D003",
+            LintCode::SilentWidening => "D004",
+            LintCode::ConeReport => "D005",
             LintCode::IncoherentClass => "L001",
             LintCode::DeadExcuse => "L002",
             LintCode::UnreachableBranch => "L003",
@@ -79,6 +107,19 @@ impl LintCode {
             LintCode::DischargedCheck => "Q004",
             LintCode::GuardSuggestion => "Q005",
         }
+    }
+
+    /// Whether this lint analyzes a schema *diff* (`D...`) rather than a
+    /// single schema or a query batch.
+    pub fn is_diff(self) -> bool {
+        matches!(
+            self,
+            LintCode::BreakingNarrowing
+                | LintCode::ContradictionIntroduced
+                | LintCode::ExcuseRetiredOrphan
+                | LintCode::SilentWidening
+                | LintCode::ConeReport
+        )
     }
 
     /// Whether this lint analyzes queries (`Q...`) rather than the schema
@@ -97,6 +138,11 @@ impl LintCode {
     /// The kebab-case name.
     pub fn name(self) -> &'static str {
         match self {
+            LintCode::BreakingNarrowing => "breaking-narrowing",
+            LintCode::ContradictionIntroduced => "contradiction-introduced",
+            LintCode::ExcuseRetiredOrphan => "excuse-retired-orphan",
+            LintCode::SilentWidening => "silent-widening",
+            LintCode::ConeReport => "cone-report",
             LintCode::IncoherentClass => "incoherent-class",
             LintCode::DeadExcuse => "dead-excuse",
             LintCode::UnreachableBranch => "unreachable-branch",
@@ -114,6 +160,21 @@ impl LintCode {
     /// One-line description (shown by `chc lint --help` and docs/LINTS.md).
     pub fn summary(self) -> &'static str {
         match self {
+            LintCode::BreakingNarrowing => {
+                "schema edit narrowed a range that stored objects may inhabit"
+            }
+            LintCode::ContradictionIntroduced => {
+                "schema edit made a previously coherent class incoherent"
+            }
+            LintCode::ExcuseRetiredOrphan => {
+                "excuse retired while its contradiction persists; excused objects orphaned"
+            }
+            LintCode::SilentWidening => {
+                "range widened with no subclass forced to react"
+            }
+            LintCode::ConeReport => {
+                "impact cone of one schema edit: dirty classes and extents"
+            }
             LintCode::IncoherentClass => {
                 "constraints admit no value for an attribute; the class can have no instances"
             }
@@ -192,5 +253,23 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(codes, sorted);
+    }
+
+    #[test]
+    fn idx_is_dense_and_aligned_with_all() {
+        // LintConfig indexes its level table with `idx()`; the enum's
+        // discriminant order and ALL's order must therefore agree.
+        for (i, c) in LintCode::ALL.into_iter().enumerate() {
+            assert_eq!(c.idx(), i, "{c}");
+        }
+    }
+
+    #[test]
+    fn families_partition_the_codes() {
+        for c in LintCode::ALL {
+            let fam = &c.code()[..1];
+            assert_eq!(c.is_diff(), fam == "D", "{c}");
+            assert_eq!(c.is_query(), fam == "Q", "{c}");
+        }
     }
 }

@@ -31,7 +31,10 @@ pub struct LintConfig {
 /// The out-of-the-box level of a lint.
 fn default_level(code: LintCode) -> LintLevel {
     match code {
-        LintCode::DischargedCheck | LintCode::GuardSuggestion => LintLevel::Info,
+        LintCode::DischargedCheck
+        | LintCode::GuardSuggestion
+        | LintCode::SilentWidening
+        | LintCode::ConeReport => LintLevel::Info,
         _ => LintLevel::Warn,
     }
 }
@@ -74,7 +77,10 @@ mod tests {
         let cfg = LintConfig::new();
         for c in LintCode::ALL {
             let expect = match c {
-                LintCode::DischargedCheck | LintCode::GuardSuggestion => LintLevel::Info,
+                LintCode::DischargedCheck
+                | LintCode::GuardSuggestion
+                | LintCode::SilentWidening
+                | LintCode::ConeReport => LintLevel::Info,
                 _ => LintLevel::Warn,
             };
             assert_eq!(cfg.level(c), expect, "{c}");

@@ -132,6 +132,51 @@ pub fn run_queries(
     LintReport { findings }
 }
 
+/// The outcome of a diff-lint run: the semantic edit list, the impact
+/// cone it dirties, and the D-family findings over both.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The matched, classified edits between the two schemas.
+    pub diff: chc_core::SchemaDiff,
+    /// Union of every edit's impact cone, in new-schema ids.
+    pub dirty: chc_core::DirtySet,
+    /// The D001–D005 findings, filtered by the severity configuration.
+    pub report: LintReport,
+}
+
+/// Diffs `old` against `new` and runs the evolution lints (D001–D005)
+/// over the edit list, filtered by `config`. Findings anchored in the old
+/// schema's file (e.g. a retired excuse clause, D003) carry `old_file` in
+/// [`Finding::file`]; everything else locates in the new schema.
+///
+/// Render findings against the *new* schema — every finding's class id
+/// lives there.
+pub fn run_diff(
+    old: &Schema,
+    new: &Schema,
+    old_file: Option<&str>,
+    config: &LintConfig,
+) -> DiffReport {
+    let _span = chc_obs::span(chc_obs::names::SPAN_LINT_RUN);
+    let old_file = old_file.or_else(|| old.source_map().file()).unwrap_or("<old>");
+    let diff = chc_core::diff_schemas(old, new);
+    let dirty = chc_core::impact_cone(old, new, &diff);
+    let mut findings = Vec::new();
+    lints::diff::run(old, new, &diff, &dirty, old_file, &mut findings);
+
+    findings.retain_mut(|f| match config.level(f.code) {
+        LintLevel::Allow => false,
+        level => {
+            f.level = level;
+            true
+        }
+    });
+    chc_obs::counter(chc_obs::names::LINT_FIRED, findings.len() as u64);
+
+    sort_findings(&mut findings);
+    DiffReport { diff, dirty, report: LintReport { findings } }
+}
+
 /// Runs the schema lints and the query safety analyzer in one report.
 /// Schema lints run over the original `schema` (virtual classes would
 /// only produce cascade noise); query analysis needs the virtualized
@@ -195,11 +240,14 @@ impl LintReport {
     }
 
     /// The whole report as a [`JsonValue`] object:
-    /// `{"tool":"chc-lint","file":…,"findings":[…],"counts":{…}}`.
-    /// Rendering it and feeding the text back through
-    /// `chc_obs::json::parse` reproduces the value.
+    /// `{"schema":"chc-lint/1","tool":"chc-lint","file":…,"findings":[…],"counts":{…}}`.
+    /// The `schema` field is the envelope version tag — downstream
+    /// parsers should check it to detect format drift. Rendering the
+    /// value and feeding the text back through `chc_obs::json::parse`
+    /// reproduces it.
     pub fn to_json(&self, schema: &Schema) -> JsonValue {
         let mut fields: Vec<(&str, JsonValue)> = Vec::new();
+        fields.push(("schema", JsonValue::string("chc-lint/1")));
         fields.push(("tool", JsonValue::string("chc-lint")));
         if let Some(file) = schema.source_map().file() {
             fields.push(("file", JsonValue::string(file)));

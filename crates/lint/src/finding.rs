@@ -59,7 +59,13 @@ impl Finding {
             ("name", JsonValue::string(self.code.name())),
             (
                 "kind",
-                JsonValue::string(if self.code.is_query() { "query" } else { "schema" }),
+                JsonValue::string(if self.code.is_query() {
+                    "query"
+                } else if self.code.is_diff() {
+                    "diff"
+                } else {
+                    "schema"
+                }),
             ),
             (
                 "level",

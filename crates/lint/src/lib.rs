@@ -28,14 +28,28 @@
 //! | Q004 | `discharged-check` | check eliminated by the compiler (info, with derivation) |
 //! | Q005 | `guard-suggestion` | minimal guard set restoring type safety (info) |
 //!
+//! A third family analyzes schema *evolution*: [`run_diff`] semantically
+//! diffs two compiled schemas (`chc_core::diff_schemas`) and lints the
+//! edit list against the §6 desiderata, reporting per-edit impact cones
+//! over the is-a DAG:
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | D001 | `breaking-narrowing` | range narrowed under stored objects (re-validation hazard) |
+//! | D002 | `contradiction-introduced` | previously coherent class made incoherent (with derivation) |
+//! | D003 | `excuse-retired-orphan` | excuse retired while its contradiction persists |
+//! | D004 | `silent-widening` | range widened with no subclass forced to react (info) |
+//! | D005 | `cone-report` | dirty-set size of one edit (info) |
+//!
 //! Each lint is catalogued with SDL examples in `docs/LINTS.md`. Entry
 //! points: [`run`] over a schema, [`run_queries`] over parsed queries,
-//! [`run_with_queries`] for both in one report, all with a [`LintConfig`]
-//! (per-code allow/warn/deny plus `deny_warnings`); render the
-//! [`LintReport`] with [`render_report`] / [`render_report_sources`]
-//! (rustc-style text quoting the offending line) or
-//! [`LintReport::to_json`] (round-trippable through `chc_obs::json`,
-//! with a `kind` field distinguishing schema and query findings).
+//! [`run_with_queries`] for both in one report, [`run_diff`] over a
+//! schema pair, all with a [`LintConfig`] (per-code allow/warn/deny plus
+//! `deny_warnings`); render the [`LintReport`] with [`render_report`] /
+//! [`render_report_sources`] (rustc-style text quoting the offending
+//! line) or [`LintReport::to_json`] (round-trippable through
+//! `chc_obs::json`, with a `kind` field distinguishing schema, query,
+//! and diff findings).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +64,6 @@ pub mod render;
 
 pub use code::LintCode;
 pub use config::{LintConfig, LintLevel};
-pub use engine::{run, run_queries, run_with_queries, LintReport};
+pub use engine::{run, run_diff, run_queries, run_with_queries, DiffReport, LintReport};
 pub use finding::Finding;
 pub use render::{render_finding, render_report, render_report_sources};

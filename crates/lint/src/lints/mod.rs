@@ -1,6 +1,7 @@
 //! The individual lints, one module per code, sharing a [`LintCtx`].
 
 pub(crate) mod dead_excuse;
+pub(crate) mod diff;
 pub(crate) mod incoherent;
 pub(crate) mod noop_redef;
 pub(crate) mod query;

@@ -132,6 +132,11 @@ fn json_report_round_trips_through_chc_obs() {
     let parsed = chc_obs::json::parse(&text).expect("valid JSON");
     assert_eq!(parsed, json);
     assert_eq!(
+        parsed.get("schema").and_then(|v| v.as_str()),
+        Some("chc-lint/1"),
+        "the envelope leads with its version tag"
+    );
+    assert_eq!(
         parsed.get("tool").and_then(|v| v.as_str()),
         Some("chc-lint")
     );

@@ -165,6 +165,33 @@ mod tests {
     }
 
     #[test]
+    fn excuse_spans_are_keyed_by_the_full_clause() {
+        let mut m = SourceMap::new();
+        let mut interner = crate::symbol::Interner::new();
+        let attr = interner.intern("treatedBy");
+        let (excuser, on) = (ClassId::from_raw(4), ClassId::from_raw(2));
+        let s = Span { line: 9, col: 31 };
+        m.record_excuse(excuser, attr, on, s);
+        assert_eq!(m.excuse_span(excuser, attr, on), Some(s));
+        // Any other (class, attr, on) triple is a different clause.
+        assert_eq!(m.excuse_span(on, attr, excuser), None);
+        assert_eq!(m.excuse_span(excuser, interner.intern("age"), on), None);
+        assert_eq!(m.excuse_span(excuser, attr, ClassId::from_raw(3)), None);
+    }
+
+    #[test]
+    fn super_spans_are_per_edge() {
+        let mut m = SourceMap::new();
+        let (sub, a, b) = (ClassId::from_raw(5), ClassId::from_raw(1), ClassId::from_raw(2));
+        m.record_super(sub, a, Span { line: 3, col: 14 });
+        m.record_super(sub, b, Span { line: 3, col: 22 });
+        assert_eq!(m.super_span(sub, a), Some(Span { line: 3, col: 14 }));
+        assert_eq!(m.super_span(sub, b), Some(Span { line: 3, col: 22 }));
+        // The edge is directed: the reverse pair was never recorded.
+        assert_eq!(m.super_span(a, sub), None);
+    }
+
+    #[test]
     fn site_span_prefers_the_attr() {
         let mut m = SourceMap::new();
         let c = ClassId::from_raw(0);

@@ -146,6 +146,8 @@ pub const SPAN_CLI_ANALYZE: &str = "cli.analyze";
 pub const SPAN_CLI_LINT: &str = "cli.lint";
 /// Span: the `query` command (plan + execute over loaded data).
 pub const SPAN_CLI_QUERY: &str = "cli.query";
+/// Span: the `diff` command (semantic schema diff + evolution lints).
+pub const SPAN_CLI_DIFF: &str = "cli.diff";
 /// Span: parsing + compiling the input schema.
 pub const SPAN_CLI_COMPILE: &str = "cli.compile";
 /// Span: the `profile` command (workload under attribution + sampler).

@@ -205,6 +205,52 @@ fn subset_of(rng: &mut SplitMix64, meet: &[Sym]) -> Range {
     Range::enumeration(picked).expect("nonempty")
 }
 
+/// Applies one semantic edit to a generated hierarchy — the evolution
+/// workload behind `chc diff` and `chc check --incremental`: the
+/// declared enum range at one excused site is narrowed to half its
+/// tokens, keeping its excuse clauses intact. The result differs from
+/// the original by exactly one range edit, so the diff's impact cone is
+/// the edited class's subtree and incremental re-checking touches only
+/// that cone. `pick` selects the site (wrapping), deterministically.
+pub fn single_class_edit(
+    gen: &GeneratedHierarchy,
+    pick: usize,
+) -> (Schema, (ClassId, Sym)) {
+    // Prefer sites whose range has at least two tokens, so halving it is
+    // a real narrowing and the differ classifies the edit as an edit;
+    // order them by subtree size so low `pick` values select edits whose
+    // impact cone is small relative to the schema (the point of the
+    // incremental workload).
+    let mut wide: Vec<(usize, ClassId, Sym)> = gen
+        .excused_sites
+        .iter()
+        .copied()
+        .filter(|&(c, a)| {
+            matches!(
+                &gen.schema.declared_attr(c, a).expect("site exists").spec.range,
+                Range::Enum(s) if s.len() >= 2
+            )
+        })
+        .map(|(c, a)| (gen.schema.descendants_with_self(c).count(), c, a))
+        .collect();
+    wide.sort_by_key(|&(cone, c, a)| (cone, c, a));
+    let sites: Vec<(ClassId, Sym)> = if wide.is_empty() {
+        gen.excused_sites.clone()
+    } else {
+        wide.into_iter().map(|(_, c, a)| (c, a)).collect()
+    };
+    assert!(!sites.is_empty(), "hierarchy has no excused site to edit");
+    let (class, attr) = sites[pick % sites.len()];
+    let mut b = SchemaBuilder::from_schema(&gen.schema);
+    let mut spec = b.attr_spec(class, attr).expect("site exists").clone();
+    if let Range::Enum(toks) = &spec.range {
+        let keep: Vec<Sym> = toks.iter().copied().take(toks.len().div_ceil(2)).collect();
+        spec.range = Range::enumeration(keep).expect("nonempty");
+    }
+    b.set_attr_spec(class, attr, spec).unwrap();
+    (b.build().expect("edit preserves structure"), (class, attr))
+}
+
 /// A mutation that removed one excuse, making the contradiction at
 /// `(class, attr)` unexcused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,6 +404,26 @@ mod tests {
         let (precision, recall) = detection_score(&mutated, &faults);
         assert_eq!(recall, 1.0, "checker must find every seeded fault");
         assert_eq!(precision, 1.0, "checker must not cry wolf");
+    }
+
+    #[test]
+    fn single_class_edit_narrows_one_site_deterministically() {
+        let gen = generate(&HierarchyParams::default());
+        let (evolved, (class, attr)) = single_class_edit(&gen, 0);
+        let old_r = &gen.schema.declared_attr(class, attr).unwrap().spec.range;
+        let new_r = &evolved.declared_attr(class, attr).unwrap().spec.range;
+        assert!(old_r.subsumes(&gen.schema, new_r) && old_r != new_r, "a strict narrowing");
+        assert_eq!(
+            gen.schema.declared_attr(class, attr).unwrap().spec.excuses,
+            evolved.declared_attr(class, attr).unwrap().spec.excuses,
+            "the excuse clauses survive the edit"
+        );
+        let (again, site) = single_class_edit(&gen, 0);
+        assert_eq!(site, (class, attr));
+        assert_eq!(chc_sdl::print_schema(&evolved), chc_sdl::print_schema(&again));
+        // A different pick edits a different site.
+        let (_, other) = single_class_edit(&gen, 1);
+        assert_ne!(other, (class, attr));
     }
 
     #[test]

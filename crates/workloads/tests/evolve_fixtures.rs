@@ -1,0 +1,61 @@
+//! Guards the committed `fixtures/evolve400-{old,new}.sdl` pair: a
+//! 400-class generated hierarchy and the same hierarchy after one
+//! [`single_class_edit`]. The pair feeds the `chc diff` /
+//! `chc check --incremental` smoke in `scripts/verify.sh` and experiment
+//! E16, so it must stay byte-identical to what the generator produces.
+//!
+//! To regenerate after changing the generator:
+//! `cargo test -p chc-workloads --test evolve_fixtures regenerate -- --ignored`
+
+use chc_workloads::{generate, single_class_edit, HierarchyParams};
+
+const OLD: &str = include_str!("../fixtures/evolve400-old.sdl");
+const NEW: &str = include_str!("../fixtures/evolve400-new.sdl");
+
+fn params() -> HierarchyParams {
+    HierarchyParams { classes: 400, seed: 0xE16, ..Default::default() }
+}
+
+fn generated() -> (String, String) {
+    let gen = generate(&params());
+    let (evolved, _site) = single_class_edit(&gen, 0);
+    (chc_sdl::print_schema(&gen.schema), chc_sdl::print_schema(&evolved))
+}
+
+#[test]
+fn committed_fixtures_match_the_generator() {
+    let (old, new) = generated();
+    assert_eq!(OLD, old, "evolve400-old.sdl is stale; regenerate (see module docs)");
+    assert_eq!(NEW, new, "evolve400-new.sdl is stale; regenerate (see module docs)");
+}
+
+#[test]
+fn incremental_check_matches_full_on_the_fixture_pair() {
+    let old = chc_sdl::compile(OLD).unwrap();
+    let new = chc_sdl::compile(NEW).unwrap();
+    let old_report = chc_core::check(&old);
+    let inc = chc_core::check_incremental(&old, &old_report, &new);
+    let full = chc_core::check(&new);
+    assert_eq!(
+        inc.report.diagnostics, full.diagnostics,
+        "incremental re-check must reproduce the full verdict"
+    );
+    assert!(!inc.diff.edits.is_empty(), "the pair differs by one edit");
+    assert!(
+        inc.dirty.classes.len() < new.num_classes() / 4,
+        "a single-class edit must dirty a small cone, not the schema \
+         ({} of {} classes dirty)",
+        inc.dirty.classes.len(),
+        new.num_classes()
+    );
+}
+
+#[test]
+#[ignore = "writes the fixture files; run explicitly to regenerate"]
+fn regenerate() {
+    let (old, new) = generated();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures");
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(format!("{dir}/evolve400-old.sdl"), old).unwrap();
+    std::fs::write(format!("{dir}/evolve400-new.sdl"), new).unwrap();
+}

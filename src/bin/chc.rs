@@ -6,15 +6,28 @@
 //!     [--crash-out <f.json>] [--watchdog <dur>]
 //!     <command> ...
 //!
-//! chc check <schema.sdl> [--explain]     type-check a schema (exit 1 on errors);
+//! chc check <schema.sdl> [--explain] [--incremental --since <old.sdl>]
+//!                                        type-check a schema (exit 1 on errors);
 //!                                        --explain prints an admissibility
-//!                                        derivation for each diagnosed site
+//!                                        derivation for each diagnosed site;
+//!                                        --incremental re-checks only the
+//!                                        impact cone of the edits since the
+//!                                        old schema, carrying the rest of
+//!                                        the verdict over (same output)
 //! chc lint <schema.sdl> [--format text|json] [--query <file.chq|"query">]
 //!          [--allow <code>] [--warn <code>] [--deny <code>] [--deny warnings]
 //!                                        run the static-analysis lints (docs/LINTS.md);
 //!                                        --query adds the Q001–Q005 query
 //!                                        safety analysis over a `.chq` batch
 //!                                        or an ad-hoc query string
+//! chc diff <old.sdl> <new.sdl> [--format text|json]
+//!          [--allow <code>] [--warn <code>] [--deny <code>] [--deny warnings]
+//!                                        semantically diff two schemas:
+//!                                        classify every edit as additive,
+//!                                        refining, or breaking; compute its
+//!                                        impact cone over the is-a DAG; and
+//!                                        run the D001–D005 evolution lints
+//!                                        (exit 1 on denied findings)
 //! chc print <schema.sdl>                 canonical pretty-printed form
 //! chc virtualize <schema.sdl>            show the §5.6 virtual classes
 //!                                        (exit 1 if the virtualized schema has errors)
@@ -528,6 +541,65 @@ fn render_audit_summary(rec: &chc_obs::AuditRecorder) -> String {
     out
 }
 
+/// Levenshtein distance between two short strings — the budget for the
+/// "did you mean" suggestion when a `--allow/--warn/--deny` value names
+/// no known lint.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// Resolves a lint code or name (`L002`, `dead-excuse`, `D001`, …); an
+/// unknown value is an error, with the closest known code or name
+/// suggested when it is plausibly a typo.
+fn parse_lint_code_arg(value: &str) -> Result<LintCode, String> {
+    if let Some(code) = LintCode::parse(value) {
+        return Ok(code);
+    }
+    let lower = value.to_ascii_lowercase();
+    let best = LintCode::ALL
+        .iter()
+        .flat_map(|c| [c.code(), c.name()])
+        .map(|cand| (edit_distance(&lower, &cand.to_ascii_lowercase()), cand))
+        .min();
+    match best {
+        Some((d, suggestion)) if d <= 3 => Err(format!(
+            "unknown lint `{value}` (did you mean `{suggestion}`? see docs/LINTS.md)"
+        )),
+        _ => Err(format!("unknown lint `{value}` (see docs/LINTS.md)")),
+    }
+}
+
+/// Applies one `--allow/--warn/--deny <code|name>` flag (shared by
+/// `chc lint` and `chc diff`); `--deny warnings` escalates every warning.
+fn apply_level_flag(
+    config: &mut LintConfig,
+    flag: &str,
+    value: Option<&String>,
+) -> Result<(), String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a lint code (e.g. L002)"))?;
+    let level = match flag {
+        "--allow" => LintLevel::Allow,
+        "--warn" => LintLevel::Warn,
+        _ => LintLevel::Deny,
+    };
+    if flag == "--deny" && value == "warnings" {
+        config.deny_warnings = true;
+        return Ok(());
+    }
+    config.set(parse_lint_code_arg(value)?, level);
+    Ok(())
+}
+
 /// `chc lint`'s own arguments, parsed by [`parse_lint_args`].
 struct LintArgs {
     config: LintConfig,
@@ -546,22 +618,6 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
     let mut query = None;
     let mut schema = None;
     let mut it = args.iter();
-    let mut level_arg = |flag: &str, value: Option<&String>| -> Result<(), String> {
-        let value = value.ok_or_else(|| format!("{flag} needs a lint code (e.g. L002)"))?;
-        let level = match flag {
-            "--allow" => LintLevel::Allow,
-            "--warn" => LintLevel::Warn,
-            _ => LintLevel::Deny,
-        };
-        if flag == "--deny" && value == "warnings" {
-            config.deny_warnings = true;
-            return Ok(());
-        }
-        let code = LintCode::parse(value)
-            .ok_or_else(|| format!("unknown lint `{value}` (see docs/LINTS.md)"))?;
-        config.set(code, level);
-        Ok(())
-    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => match it.next().map(String::as_str) {
@@ -574,7 +630,9 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                     ))
                 }
             },
-            flag @ ("--allow" | "--warn" | "--deny") => level_arg(flag, it.next())?,
+            flag @ ("--allow" | "--warn" | "--deny") => {
+                apply_level_flag(&mut config, flag, it.next())?
+            }
             "--query" => {
                 query = Some(
                     it.next()
@@ -597,6 +655,205 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
         json,
         query,
         schema,
+    })
+}
+
+/// `chc check`'s own arguments, parsed by [`parse_check_args`].
+struct CheckArgs {
+    schema: Option<String>,
+    since: Option<String>,
+}
+
+/// Parses `chc check`'s own arguments: the schema path (anywhere among
+/// the flags) plus `--incremental --since <old.sdl>`, which must appear
+/// together — `--since` names the baseline, `--incremental` opts into
+/// cone-scoped re-checking.
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut schema = None;
+    let mut since = None;
+    let mut incremental = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--incremental" => incremental = true,
+            "--since" => {
+                since = Some(
+                    it.next()
+                        .ok_or("--since needs the old schema (.sdl) to diff against")?
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown check option `{other}`"))
+            }
+            other => {
+                if schema.replace(other.to_string()).is_some() {
+                    return Err(format!("unexpected check argument `{other}`"));
+                }
+            }
+        }
+    }
+    if incremental != since.is_some() {
+        return Err("--incremental and --since <old.sdl> go together".to_string());
+    }
+    Ok(CheckArgs { schema, since })
+}
+
+/// `chc diff`'s own arguments, parsed by [`parse_diff_args`].
+struct DiffArgs {
+    config: LintConfig,
+    json: bool,
+    old: String,
+    new: String,
+}
+
+/// Parses `chc diff`'s own arguments: two positional schema paths (old
+/// then new), `--format text|json`, and the same severity flags as
+/// `chc lint`.
+fn parse_diff_args(args: &[String]) -> Result<DiffArgs, String> {
+    let mut config = LintConfig::new();
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format needs `text` or `json`, got `{}`",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            flag @ ("--allow" | "--warn" | "--deny") => {
+                apply_level_flag(&mut config, flag, it.next())?
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown diff option `{other}`"))
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let mut paths = paths.into_iter();
+    match (paths.next(), paths.next(), paths.next()) {
+        (Some(old), Some(new), None) => Ok(DiffArgs { config, json, old, new }),
+        _ => Err("diff needs exactly two schemas: chc diff <old.sdl> <new.sdl>".to_string()),
+    }
+}
+
+/// The `chc-diff/1` JSON envelope: the classified edit list, the dirty
+/// set (class names, in the new schema), edit counts by kind, and the
+/// D-family lint report nested under `"lints"` as its own `chc-lint/1`
+/// envelope.
+fn diff_to_json(
+    outcome: &excuses::lint::DiffReport,
+    old_path: &str,
+    new_path: &str,
+    new_schema: &excuses::model::Schema,
+) -> chc_obs::json::JsonValue {
+    use chc_obs::json::JsonValue;
+    use excuses::core::EditKind;
+    let edits = outcome.diff.edits.iter().map(|e| {
+        let mut fields: Vec<(&str, JsonValue)> = vec![
+            ("kind", JsonValue::string(e.kind.label())),
+            ("class", JsonValue::string(&e.class)),
+            ("edit", JsonValue::string(&e.describe())),
+        ];
+        if let Some(attr) = &e.attr {
+            fields.push(("attr", JsonValue::string(attr)));
+        }
+        // Locate the edit where it is visible: in the new file when the
+        // declaration survives, in the old file when it was retired.
+        if let Some(span) = e.new_span {
+            fields.push(("line", JsonValue::number(span.line as f64)));
+            fields.push(("col", JsonValue::number(span.col as f64)));
+        } else if let Some(span) = e.old_span {
+            fields.push(("old_line", JsonValue::number(span.line as f64)));
+            fields.push(("old_col", JsonValue::number(span.col as f64)));
+        }
+        JsonValue::object(fields)
+    });
+    let names = |ids: &std::collections::BTreeSet<excuses::model::ClassId>| {
+        JsonValue::array(ids.iter().map(|&c| JsonValue::string(new_schema.class_name(c))))
+    };
+    JsonValue::object([
+        ("schema", JsonValue::string("chc-diff/1")),
+        ("tool", JsonValue::string("chc-diff")),
+        ("old", JsonValue::string(old_path)),
+        ("new", JsonValue::string(new_path)),
+        ("edits", JsonValue::array(edits)),
+        (
+            "dirty",
+            JsonValue::object([
+                ("classes", names(&outcome.dirty.classes)),
+                ("extents", names(&outcome.dirty.extents)),
+            ]),
+        ),
+        (
+            "counts",
+            JsonValue::object([
+                ("edits", JsonValue::number(outcome.diff.edits.len() as f64)),
+                ("additive", JsonValue::number(outcome.diff.count(EditKind::Additive) as f64)),
+                ("refining", JsonValue::number(outcome.diff.count(EditKind::Refining) as f64)),
+                ("breaking", JsonValue::number(outcome.diff.count(EditKind::Breaking) as f64)),
+            ]),
+        ),
+        ("lints", outcome.report.to_json(new_schema)),
+    ])
+}
+
+/// `chc diff <old.sdl> <new.sdl>`: compile both schemas, diff them
+/// semantically, and run the D-family evolution lints over the edit
+/// list. Text findings render rustc-style into whichever file anchors
+/// them (retired declarations quote the old file); `--format json`
+/// emits the `chc-diff/1` envelope. Exit 1 when a denied finding fired.
+fn run_diff_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let da = parse_diff_args(args)?;
+    let (old_path, new_path) = (da.old.as_str(), da.new.as_str());
+    let old_src = std::fs::read_to_string(old_path).map_err(|e| format!("{old_path}: {e}"))?;
+    let new_src = std::fs::read_to_string(new_path).map_err(|e| format!("{new_path}: {e}"))?;
+    register_schema_context(new_path, &new_src);
+    let (old_schema, new_schema) = {
+        let _span = chc_obs::span(chc_obs::names::SPAN_CLI_COMPILE);
+        (
+            compile_with_source(&old_src, old_path).map_err(|e| format!("{old_path}: {e}"))?,
+            compile_with_source(&new_src, new_path).map_err(|e| format!("{new_path}: {e}"))?,
+        )
+    };
+    let outcome =
+        excuses::lint::run_diff(&old_schema, &new_schema, Some(old_path), &da.config);
+    if da.json {
+        println!("{}", diff_to_json(&outcome, old_path, new_path, &new_schema).render());
+    } else {
+        if !outcome.report.findings.is_empty() {
+            println!(
+                "{}",
+                excuses::lint::render_report_sources(
+                    &outcome.report,
+                    &new_schema,
+                    Some(&new_src),
+                    Some(&old_src),
+                )
+            );
+        }
+        use excuses::core::EditKind;
+        println!(
+            "{old_path} -> {new_path}: {} edit(s) ({} additive, {} refining, {} breaking); \
+             dirty: {} class(es) to re-check, {} extent(s) to re-validate",
+            outcome.diff.edits.len(),
+            outcome.diff.count(EditKind::Additive),
+            outcome.diff.count(EditKind::Refining),
+            outcome.diff.count(EditKind::Breaking),
+            outcome.dirty.classes.len(),
+            outcome.dirty.extents.len(),
+        );
+    }
+    Ok(if outcome.report.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     })
 }
 
@@ -1445,7 +1702,7 @@ fn render_crash_report(doc: &chc_obs::json::JsonValue) -> String {
 }
 
 fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
-    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>] [--crash-out <f.json>] [--watchdog <dur>] <check|lint|print|virtualize|explain|analyze|query|validate|load|profile|doctor> <schema.sdl> [...]";
+    let usage = "usage: chc [--trace] [--stats] [--trace-out <f.json>] [--flame-out <f.folded>] [--stats-out <f.json>] [--audit-out <f.jsonl>] [--profile-out <f.json>] [--crash-out <f.json>] [--watchdog <dur>] <check|lint|diff|print|virtualize|explain|analyze|query|validate|load|profile|doctor> <schema.sdl> [...]";
     let cmd = args.first().ok_or(usage)?;
     // `doctor` reads a crash report, not a schema: skip the compile.
     if cmd == "doctor" {
@@ -1457,17 +1714,30 @@ fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
         let _span = chc_obs::span(chc_obs::names::SPAN_CLI_LOAD);
         return run_load_cmd(&args[1..]);
     }
-    // `lint` takes its schema as a free positional among its own flags
-    // (`chc lint --query q.chq schema.sdl` is valid); every other command
-    // takes it as the first argument.
+    // `diff` compiles two schemas, so it skips the generic single-schema
+    // compile below too.
+    if cmd == "diff" {
+        let _span = chc_obs::span(chc_obs::names::SPAN_CLI_DIFF);
+        return run_diff_cmd(&args[1..]);
+    }
+    // `lint` and `check` take their schema as a free positional among
+    // their own flags (`chc lint --query q.chq schema.sdl` and
+    // `chc check --incremental --since old.sdl new.sdl` are valid);
+    // every other command takes it as the first argument.
     let lint_args = if cmd == "lint" {
         Some(parse_lint_args(&args[1..])?)
     } else {
         None
     };
-    let path = match &lint_args {
-        Some(la) => la.schema.clone().ok_or(usage)?,
-        None => args.get(1).cloned().ok_or(usage)?,
+    let check_args = if cmd == "check" {
+        Some(parse_check_args(&args[1..])?)
+    } else {
+        None
+    };
+    let path = match (&lint_args, &check_args) {
+        (Some(la), _) => la.schema.clone().ok_or(usage)?,
+        (_, Some(ca)) => ca.schema.clone().ok_or(usage)?,
+        _ => args.get(1).cloned().ok_or(usage)?,
     };
     let path = path.as_str();
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -1487,7 +1757,31 @@ fn run(args: &[String], flags: &Flags) -> Result<ExitCode, String> {
 
     match cmd.as_str() {
         "check" => {
-            let report = check(&schema);
+            let ca = check_args.expect("parsed above for `check`");
+            // With `--incremental --since <old.sdl>`, only classes in the
+            // impact cone of the edits are re-checked; the rest of the
+            // verdict is carried over from the old schema's report. The
+            // stdout report is identical to a full check (the incremental
+            // accounting goes to stderr), so the two modes can be diffed.
+            let report = match &ca.since {
+                Some(old_path) => {
+                    let old_src = std::fs::read_to_string(old_path)
+                        .map_err(|e| format!("{old_path}: {e}"))?;
+                    let old_schema = compile_with_source(&old_src, old_path)
+                        .map_err(|e| format!("{old_path}: {e}"))?;
+                    let old_report = check(&old_schema);
+                    let inc =
+                        excuses::core::check_incremental(&old_schema, &old_report, &schema);
+                    eprintln!(
+                        "incremental: {} edit(s) since {old_path}; re-checked {} of {} class(es)",
+                        inc.diff.edits.len(),
+                        inc.dirty.classes.len(),
+                        schema.num_classes(),
+                    );
+                    inc.report
+                }
+                None => check(&schema),
+            };
             if report.diagnostics.is_empty() {
                 println!(
                     "{path}: {} classes, {} declarations — clean",

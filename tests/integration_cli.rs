@@ -408,3 +408,107 @@ fn load_generates_a_hierarchy_and_rejects_bad_mixes() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mix kind"));
 }
+
+const EVOLVED_OLD: &str = "
+class Person with age: 1..120;
+class Patient is-a Person with treatedBy: Person;
+";
+
+const EVOLVED_NEW: &str = "
+class Person with age: 21..65;
+class Patient is-a Person with treatedBy: Person;
+";
+
+#[test]
+fn diff_reports_edits_and_exits_on_denied_findings() {
+    let old = write_schema("diff-old.sdl", EVOLVED_OLD);
+    let new = write_schema("diff-new.sdl", EVOLVED_NEW);
+    // A narrowing under stored objects: D001 warns but does not fail.
+    let out = chc(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[D001]"), "{stdout}");
+    assert!(stdout.contains("1 refining"), "{stdout}");
+    assert!(stdout.contains("2 class(es) to re-check"), "{stdout}");
+    // Under --deny warnings the same diff fails.
+    let out = chc(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--deny",
+        "warnings",
+    ]);
+    assert!(!out.status.success());
+    // An explicit --allow survives the blanket deny.
+    let out = chc(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--deny",
+        "warnings",
+        "--allow",
+        "breaking-narrowing",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn diff_json_wraps_the_lint_report_in_the_chc_diff_envelope() {
+    let old = write_schema("diffj-old.sdl", EVOLVED_OLD);
+    let new = write_schema("diffj-new.sdl", EVOLVED_NEW);
+    let out = chc(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\":\"chc-diff/1\""), "{stdout}");
+    assert!(stdout.contains("\"schema\":\"chc-lint/1\""), "{stdout}");
+    assert!(stdout.contains("\"kind\":\"diff\""), "{stdout}");
+    assert!(stdout.contains("\"refining\":1"), "{stdout}");
+}
+
+#[test]
+fn check_incremental_matches_the_full_check_byte_for_byte() {
+    let old = write_schema("inc-old.sdl", EVOLVED_OLD);
+    let new = write_schema("inc-new.sdl", EVOLVED_NEW);
+    let full = chc(&["check", new.to_str().unwrap()]);
+    let inc = chc(&[
+        "check",
+        new.to_str().unwrap(),
+        "--incremental",
+        "--since",
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(full.status.code(), inc.status.code());
+    assert_eq!(full.stdout, inc.stdout, "incremental stdout must be identical");
+    let stderr = String::from_utf8_lossy(&inc.stderr);
+    assert!(stderr.contains("incremental:"), "{stderr}");
+    // --incremental without --since (and vice versa) is a usage error.
+    let out = chc(&["check", new.to_str().unwrap(), "--incremental"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--since"));
+}
+
+#[test]
+fn unknown_lint_codes_get_a_did_you_mean() {
+    let path = write_schema("dym.sdl", CLEAN);
+    let out = chc(&["lint", path.to_str().unwrap(), "--deny", "dead-excuze"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean `dead-excuse`?"), "{stderr}");
+    // The same helper serves `chc diff`, and D codes are suggested too.
+    let out = chc(&["diff", "a.sdl", "b.sdl", "--warn", "D01"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean `D001`?"), "{stderr}");
+    // Nothing close: no suggestion, still an error.
+    let out = chc(&["lint", path.to_str().unwrap(), "--allow", "qqqqqqqqqqqq"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown lint"), "{stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+}
